@@ -1,0 +1,86 @@
+"""Shared fixtures for the benchmark/experiment harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md (E1–E11):
+it computes the experiment's result rows during setup, times a representative
+operation with pytest-benchmark, prints the rows, and appends them to
+``benchmarks/results/`` so EXPERIMENTS.md can be cross-checked against an
+actual run.
+
+The pretrained system and corpora are session-scoped: they are built once and
+shared by all experiments, exactly like the single pretrained global model the
+paper deploys across customers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import SigmaTyper, SigmaTyperConfig
+from repro.adaptation import GlobalModelConfig
+from repro.corpus import GitTablesConfig, GitTablesGenerator, build_ood_corpus
+from repro.nn import MLPConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Sizes chosen so the full benchmark suite runs in a few minutes on a laptop
+#: while still training the learned model on a few hundred columns.
+PRETRAIN_TABLES = 90
+BACKGROUND_TABLES = 20
+TEST_TABLES = 25
+MLP_EPOCHS = 30
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_result(results_dir):
+    """Write an experiment's printed rows to benchmarks/results/<name>.txt."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def train_corpus():
+    """The GitTables-like pretraining corpus shared by every experiment."""
+    return GitTablesGenerator(
+        GitTablesConfig(num_tables=PRETRAIN_TABLES, seed=2024)
+    ).generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def background_corpus():
+    """OOD background tables used for the unknown class."""
+    return build_ood_corpus(num_tables=BACKGROUND_TABLES, seed=2025)
+
+
+@pytest.fixture(scope="session")
+def test_corpus():
+    """Held-out GitTables-like evaluation corpus (different seed)."""
+    return GitTablesGenerator(GitTablesConfig(num_tables=TEST_TABLES, seed=7777)).generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def sigmatyper(train_corpus, background_corpus) -> SigmaTyper:
+    """The pretrained SigmaTyper system (header matching + lookup + learned model)."""
+    config = SigmaTyperConfig(
+        global_model=GlobalModelConfig(
+            mlp=MLPConfig(max_epochs=MLP_EPOCHS, hidden_sizes=(128, 64), seed=3),
+            seed=2024,
+        )
+    )
+    return SigmaTyper.pretrained(
+        training_corpus=train_corpus,
+        background_corpus=background_corpus,
+        config=config,
+    )

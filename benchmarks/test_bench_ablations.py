@@ -1,0 +1,69 @@
+"""E11: ablations of the design choices DESIGN.md calls out.
+
+Removes one ingredient at a time from the hybrid system — individual pipeline
+steps, the τ threshold, the soft majority vote — and reports the impact on
+precision, coverage, and macro-F1 on the held-out corpus.  The expected shape
+is that every ingredient pays its way: dropping a step or the aggregation
+loses macro-F1, and dropping τ loses precision.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import Aggregator
+from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
+from repro.evaluation import evaluate_annotator, format_table
+
+
+def _variant(sigmatyper, step_names=None, tau=None, aggregation="soft_majority"):
+    base = sigmatyper.global_model.pipeline
+    steps = [step for step in base.steps if step_names is None or step.name in step_names]
+    config = CascadeConfig(
+        confidence_threshold=base.config.confidence_threshold,
+        tau=base.config.tau if tau is None else tau,
+        top_k=base.config.top_k,
+        aggregation_method=aggregation,
+    )
+    return TypeDetectionPipeline(steps, config=config, aggregator=Aggregator(method=aggregation))
+
+
+def test_ablations(benchmark, sigmatyper, test_corpus, record_result):
+    variants = {
+        "full system (soft majority, tau)": _variant(sigmatyper),
+        "- header matching step": _variant(sigmatyper, step_names=("value_lookup", "table_embedding")),
+        "- value lookup step": _variant(sigmatyper, step_names=("header_matching", "table_embedding")),
+        "- learned table-embedding step": _variant(sigmatyper, step_names=("header_matching", "value_lookup")),
+        "header matching only": _variant(sigmatyper, step_names=("header_matching",)),
+        "learned model only": _variant(sigmatyper, step_names=("table_embedding",)),
+        "hard majority vote": _variant(sigmatyper, aggregation="hard_majority"),
+        "max-confidence merge": _variant(sigmatyper, aggregation="max"),
+        "no tau threshold (tau = 0)": _variant(sigmatyper, tau=0.0),
+    }
+
+    rows = []
+    for name, pipeline in variants.items():
+        result = evaluate_annotator(pipeline, test_corpus, name=name)
+        rows.append(
+            {
+                "variant": name,
+                "coverage": result.metrics.coverage,
+                "precision": result.metrics.precision,
+                "accuracy": result.metrics.accuracy,
+                "macro_f1": result.metrics.macro_f1,
+            }
+        )
+
+    benchmark(variants["full system (soft majority, tau)"].annotate, test_corpus[0])
+
+    record_result(
+        "E11_ablations",
+        format_table(rows, title="E11 — ablating pipeline steps, aggregation, and tau"),
+    )
+
+    by_variant = {row["variant"]: row for row in rows}
+    full = by_variant["full system (soft majority, tau)"]
+    # Shape: the full hybrid beats (or at worst matches) every single-step variant on macro-F1,
+    # and removing tau cannot increase precision.
+    assert full["macro_f1"] >= by_variant["header matching only"]["macro_f1"] - 0.02
+    assert full["macro_f1"] >= by_variant["learned model only"]["macro_f1"] - 0.02
+    assert by_variant["no tau threshold (tau = 0)"]["precision"] <= full["precision"] + 1e-9
+    assert by_variant["no tau threshold (tau = 0)"]["coverage"] >= full["coverage"] - 1e-9

@@ -1,0 +1,92 @@
+"""E5 (Section 5 evaluation plan): how rapidly the system adapts to a new domain.
+
+A customer's data exhibits label shift (columns whose headers suggest one type
+but whose values belong to another).  The experiment measures accuracy on the
+customer's *shifted columns* as a function of the number of feedback
+interactions, comparing the adaptive system against the frozen global model.
+The expected shape: the frozen model stays flat and wrong; the adaptive system
+climbs within a handful of corrections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import build_label_shift_corpus
+from repro.evaluation import format_table
+
+
+@pytest.fixture(scope="module")
+def shift_corpus():
+    return build_label_shift_corpus(num_tables=20, seed=501)
+
+
+def _shifted_accuracy(sigmatyper, corpus, customer_id=None):
+    """Accuracy restricted to the label-shifted columns."""
+    correct = total = 0
+    for table in corpus:
+        prediction = sigmatyper.annotate(table, customer_id=customer_id)
+        for column, column_prediction in zip(table.columns, prediction.columns):
+            if "label_shift" not in column.metadata:
+                continue
+            total += 1
+            if column_prediction.predicted_type == column.semantic_type:
+                correct += 1
+    return correct / total if total else 0.0
+
+
+def test_adaptation_speed(benchmark, sigmatyper, shift_corpus, record_result):
+    customer_id = "e5-adaptation"
+    if customer_id not in sigmatyper.customer_ids:
+        sigmatyper.register_customer(customer_id)
+
+    # Feedback is given on the first few tables; accuracy is measured on the
+    # remaining (never corrected) tables so the curve reflects generalisation.
+    tables = list(shift_corpus)
+    feedback_tables = tables[:8]
+    from repro.corpus import TableCorpus
+
+    holdout = TableCorpus(tables[8:], name="e5-holdout")
+
+    frozen_accuracy = _shifted_accuracy(sigmatyper, holdout, customer_id=None)
+    rows = [
+        {
+            "feedback_rounds": 0,
+            "system": "frozen global model",
+            "shifted_column_accuracy": round(frozen_accuracy, 3),
+        }
+    ]
+
+    feedback_columns = [
+        (table, column)
+        for table in feedback_tables
+        for column in table.columns
+        if "label_shift" in column.metadata
+    ]
+    checkpoints = {1, 2, 3, 5, len(feedback_columns)}
+    rounds = 0
+    for table, column in feedback_columns:
+        sigmatyper.give_feedback(customer_id, table, column.name, column.semantic_type)
+        rounds += 1
+        if rounds in checkpoints:
+            accuracy = _shifted_accuracy(sigmatyper, holdout, customer_id=customer_id)
+            rows.append(
+                {
+                    "feedback_rounds": rounds,
+                    "system": "SigmaTyper (global + local)",
+                    "shifted_column_accuracy": round(accuracy, 3),
+                }
+            )
+
+    benchmark(sigmatyper.annotate, holdout[0], customer_id=customer_id)
+
+    record_result(
+        "E5_adaptation_speed",
+        format_table(rows, title="E5 — accuracy on label-shifted columns vs. feedback rounds"),
+    )
+
+    final_accuracy = rows[-1]["shifted_column_accuracy"]
+    assert final_accuracy >= frozen_accuracy, "adaptation must not be worse than the frozen model"
+    assert final_accuracy >= 0.25, (
+        "after all feedback rounds a substantial share of shifted columns should be corrected"
+    )

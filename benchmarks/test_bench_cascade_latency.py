@@ -1,0 +1,67 @@
+"""E10 (Section 4.3): cascade vs. exhaustive execution.
+
+"To minimize overhead, each step in the pipeline is executed ... only if a
+preset confidence threshold c is not met by the prior step.  The steps are
+executed in order of inference time."  This experiment measures the end-to-end
+latency and accuracy of the confidence-gated cascade against running every
+step on every column, and sweeps the confidence threshold c.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
+from repro.evaluation import evaluate_annotator, format_table
+
+
+def _pipeline_variant(sigmatyper, confidence_threshold, always_run_all):
+    base = sigmatyper.global_model.pipeline
+    config = CascadeConfig(
+        confidence_threshold=confidence_threshold,
+        tau=base.config.tau,
+        top_k=base.config.top_k,
+        always_run_all_steps=always_run_all,
+        aggregation_method=base.config.aggregation_method,
+    )
+    return TypeDetectionPipeline(base.steps, config=config, aggregator=base.aggregator)
+
+
+def test_cascade_vs_exhaustive(benchmark, sigmatyper, test_corpus, record_result):
+    variants = [
+        ("exhaustive (all steps, all columns)", _pipeline_variant(sigmatyper, 0.85, True)),
+        ("cascade, c = 0.70", _pipeline_variant(sigmatyper, 0.70, False)),
+        ("cascade, c = 0.85 (default)", _pipeline_variant(sigmatyper, 0.85, False)),
+        ("cascade, c = 0.95", _pipeline_variant(sigmatyper, 0.95, False)),
+    ]
+
+    rows = []
+    for name, pipeline in variants:
+        result = evaluate_annotator(pipeline, test_corpus, name=name)
+        learned_step_columns = result.step_trace.get("table_embedding", 0)
+        rows.append(
+            {
+                "configuration": name,
+                "seconds_total": round(result.wall_seconds, 3),
+                "columns_per_second": round(result.metrics.total / result.wall_seconds, 1),
+                "columns_reaching_learned_step": learned_step_columns,
+                "accuracy": result.metrics.accuracy,
+                "macro_f1": result.metrics.macro_f1,
+            }
+        )
+
+    default_cascade = _pipeline_variant(sigmatyper, 0.85, False)
+    benchmark(default_cascade.annotate, test_corpus[0])
+
+    record_result(
+        "E10_cascade_latency",
+        format_table(rows, title="E10 — confidence-gated cascade vs exhaustive execution"),
+    )
+
+    exhaustive, *cascades = rows
+    default = rows[2]
+    # Shape: the cascade sends fewer columns to the learned step and is at
+    # least as fast, while staying within a small accuracy margin.
+    assert default["columns_reaching_learned_step"] < exhaustive["columns_reaching_learned_step"]
+    assert default["seconds_total"] <= exhaustive["seconds_total"] * 1.10
+    assert default["accuracy"] >= exhaustive["accuracy"] - 0.10
+    # A stricter threshold pushes more columns to the expensive step.
+    assert rows[3]["columns_reaching_learned_step"] >= rows[1]["columns_reaching_learned_step"]

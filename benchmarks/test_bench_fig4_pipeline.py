@@ -1,0 +1,82 @@
+"""E4 (Fig. 4): the 3-step cascade — trigger rates, latency ordering, and
+per-step quality.
+
+The paper orders the pipeline steps by inference time and only invokes a step
+for the columns the previous steps were not confident about.  This experiment
+measures, on the held-out corpus: how many columns reach each step, how much
+wall-clock each step consumes, and the precision/coverage each step achieves
+on its own, plus the aggregated system.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
+from repro.evaluation import evaluate_annotator, format_table
+
+
+def _single_step_pipeline(step, tau):
+    return TypeDetectionPipeline([step], config=CascadeConfig(tau=tau))
+
+
+def test_fig4_pipeline_cascade(benchmark, sigmatyper, test_corpus, record_result):
+    pipeline = sigmatyper.global_model.pipeline
+    cascade_result = evaluate_annotator(sigmatyper, test_corpus, name="full cascade")
+
+    total_columns = test_corpus.num_columns
+    step_rows = []
+    for step in pipeline.steps:
+        columns_seen = cascade_result.step_trace.get(step.name, 0)
+        seconds = cascade_result.step_seconds.get(step.name, 0.0)
+        solo = evaluate_annotator(
+            _single_step_pipeline(step, tau=pipeline.config.tau),
+            test_corpus,
+            name=step.name,
+        )
+        step_rows.append(
+            {
+                "step": step.name,
+                "cost_rank": step.cost_rank,
+                "columns_reached": columns_seen,
+                "fraction_of_columns": round(columns_seen / total_columns, 3),
+                "seconds_in_cascade": round(seconds, 3),
+                "ms_per_column": round(1000 * seconds / columns_seen, 2) if columns_seen else 0.0,
+                "solo_precision": solo.metrics.precision,
+                "solo_coverage": solo.metrics.coverage,
+                "solo_macro_f1": solo.metrics.macro_f1,
+            }
+        )
+    step_rows.append(
+        {
+            "step": "full cascade (aggregated)",
+            "cost_rank": "-",
+            "columns_reached": total_columns,
+            "fraction_of_columns": 1.0,
+            "seconds_in_cascade": round(sum(cascade_result.step_seconds.values()), 3),
+            "ms_per_column": round(
+                1000 * sum(cascade_result.step_seconds.values()) / total_columns, 2
+            ),
+            "solo_precision": cascade_result.metrics.precision,
+            "solo_coverage": cascade_result.metrics.coverage,
+            "solo_macro_f1": cascade_result.metrics.macro_f1,
+        }
+    )
+
+    benchmark(sigmatyper.annotate, test_corpus[0])
+
+    record_result(
+        "E4_fig4_pipeline",
+        format_table(step_rows, title="E4 / Fig. 4 — cascade trigger rates, latency, per-step quality"),
+    )
+
+    # Shape checks: the cascade funnels columns (later steps see fewer).
+    # Note: the paper's cost ordering puts the table-embedding model (TaBERT)
+    # last because it is by far the slowest; in this reproduction that step is
+    # a small numpy MLP, so the per-column millisecond ordering differs — the
+    # funnel structure and the aggregation quality are the reproducible shape.
+    header, lookup, embedding = step_rows[0], step_rows[1], step_rows[2]
+    assert header["columns_reached"] == total_columns
+    assert lookup["columns_reached"] <= header["columns_reached"]
+    assert embedding["columns_reached"] <= lookup["columns_reached"]
+    # The aggregated cascade should not be worse than the best single step on macro-F1.
+    best_solo = max(row["solo_macro_f1"] for row in step_rows[:3])
+    assert step_rows[-1]["solo_macro_f1"] >= best_solo - 0.05

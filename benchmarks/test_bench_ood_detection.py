@@ -1,0 +1,108 @@
+"""E7 (Sections 2.3 / 4.3): out-of-distribution detection quality.
+
+"Upon encountering tables and labels that are far from the training data, the
+system should avoid inferring labels for it."  This experiment mixes
+in-distribution columns with columns of types the ontology does not contain
+(gene sequences, chess openings, licence plates, ...) and measures: the
+abstention rate on each population, the AUROC of the confidence-based OOD
+scores (max-softmax, entropy, energy), and the benefit of the background
+``unknown`` class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import build_ood_corpus
+from repro.embedding_model import OODDetector, auroc
+from repro.evaluation import format_table
+
+
+@pytest.fixture(scope="module")
+def ood_corpus():
+    return build_ood_corpus(num_tables=15, ood_columns_per_table=2, seed=601)
+
+
+def _column_populations(ood_corpus, test_corpus):
+    ood_columns = [
+        (entry.column, entry.table)
+        for entry in ood_corpus.columns()
+        if str(entry.label).startswith("ood:")
+    ]
+    in_columns = [
+        (entry.column, entry.table) for entry in test_corpus.labeled_columns()
+    ][: len(ood_columns) * 2]
+    return in_columns, ood_columns
+
+
+def test_ood_detection(benchmark, sigmatyper, test_corpus, ood_corpus, record_result):
+    classifier = sigmatyper.global_model.classifier
+    assert classifier is not None
+    in_columns, ood_columns = _column_populations(ood_corpus, test_corpus)
+
+    # System-level behaviour: abstention rates through the full pipeline.
+    def abstention_rate(corpus, only_ood):
+        abstained = total = 0
+        for table in corpus:
+            prediction = sigmatyper.annotate(table)
+            for column, column_prediction in zip(table.columns, prediction.columns):
+                is_ood = str(column.semantic_type or "").startswith("ood:")
+                if column.semantic_type is None or is_ood != only_ood:
+                    continue
+                total += 1
+                abstained += bool(column_prediction.abstained)
+        return abstained / total if total else 0.0
+
+    system_rows = [
+        {"population": "in-distribution columns", "pipeline_abstention_rate": round(abstention_rate(test_corpus, only_ood=False), 3)},
+        {"population": "out-of-distribution columns", "pipeline_abstention_rate": round(abstention_rate(ood_corpus, only_ood=True), 3)},
+    ]
+
+    # Score-level quality: AUROC per OOD scoring method.
+    score_rows = []
+    for method in OODDetector.METHODS:
+        detector = OODDetector(classifier, method=method, accept_fraction=0.95)
+        in_scores = [detector.score(column, table) for column, table in in_columns]
+        ood_scores = [detector.score(column, table) for column, table in ood_columns]
+        detector.calibrate(in_columns)
+        flagged_ood = sum(detector.is_out_of_distribution(c, t) for c, t in ood_columns) / len(ood_columns)
+        flagged_in = sum(detector.is_out_of_distribution(c, t) for c, t in in_columns) / len(in_columns)
+        score_rows.append(
+            {
+                "ood_score": method,
+                "auroc": round(auroc(in_scores, ood_scores), 3),
+                "ood_flag_rate": round(flagged_ood, 3),
+                "in_dist_false_alarm_rate": round(flagged_in, 3),
+            }
+        )
+
+    # Unknown-class behaviour of the raw classifier.
+    unknown_hits = sum(
+        1 for column, table in ood_columns if classifier.predict_type(column, table) == "unknown"
+    )
+    score_rows.append(
+        {
+            "ood_score": "background unknown class (top-1)",
+            "auroc": "-",
+            "ood_flag_rate": round(unknown_hits / len(ood_columns), 3),
+            "in_dist_false_alarm_rate": round(
+                sum(1 for c, t in in_columns if classifier.predict_type(c, t) == "unknown") / len(in_columns), 3
+            ),
+        }
+    )
+
+    detector = OODDetector(classifier, method="max_softmax")
+    benchmark(detector.score, ood_columns[0][0], ood_columns[0][1])
+
+    record_result(
+        "E7_ood_detection",
+        format_table(system_rows, title="E7 — pipeline abstention by population")
+        + "\n\n"
+        + format_table(score_rows, title="E7 — OOD scoring methods"),
+    )
+
+    # Shape: the system abstains far more often on OOD columns, and at least
+    # one scoring method separates the populations better than chance.
+    assert system_rows[1]["pipeline_abstention_rate"] > system_rows[0]["pipeline_abstention_rate"]
+    aurocs = [row["auroc"] for row in score_rows if isinstance(row["auroc"], float)]
+    assert max(aurocs) > 0.6

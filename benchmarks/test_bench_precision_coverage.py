@@ -1,0 +1,78 @@
+"""E6 (Section 2.3): the precision / coverage trade-off and the τ operating point.
+
+The paper argues that a practical system must balance precision with coverage
+and "infer a parameter τ and threshold predictions that are below τ such that
+the precision of the system is high".  This experiment sweeps τ over the
+held-out corpus, reports the precision–coverage curve, and shows the operating
+point chosen by the calibration routine for a 95% precision target.
+"""
+
+from __future__ import annotations
+
+from repro.core.aggregation import calibrate_tau
+from repro.evaluation import format_table, precision_coverage_curve
+from repro.evaluation.harness import PredictionRecord
+
+
+def _collect_records(sigmatyper, corpus):
+    records = []
+    original_tau = sigmatyper.tau
+    sigmatyper.set_tau(0.0)
+    try:
+        for table in corpus:
+            prediction = sigmatyper.annotate(table)
+            for column, column_prediction in zip(table.columns, prediction.columns):
+                if column.semantic_type is None:
+                    continue
+                records.append(
+                    PredictionRecord(
+                        gold_type=column.semantic_type,
+                        predicted_type=column_prediction.predicted_type,
+                        confidence=column_prediction.confidence,
+                        abstained=column_prediction.abstained,
+                        table_name=table.name,
+                        column_name=column.name,
+                    )
+                )
+    finally:
+        sigmatyper.set_tau(original_tau)
+    return records
+
+
+def test_precision_coverage_tradeoff(benchmark, sigmatyper, test_corpus, record_result):
+    records = _collect_records(sigmatyper, test_corpus)
+
+    taus = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99]
+    curve = precision_coverage_curve(records, taus=taus)
+
+    calibrated_tau = calibrate_tau(
+        [(record.confidence, record.predicted_type == record.gold_type) for record in records if record.attempted],
+        target_precision=0.95,
+    )
+
+    rows = [
+        {
+            "tau": point["tau"],
+            "coverage": point["coverage"],
+            "precision": point["precision"],
+            "selected": "  <-- calibrated τ (95% precision target)"
+            if abs(point["tau"] - round(calibrated_tau, 2)) < 0.051 and point["tau"] >= calibrated_tau - 0.05
+            else "",
+        }
+        for point in curve
+    ]
+
+    benchmark(precision_coverage_curve, records, taus)
+
+    record_result(
+        "E6_precision_coverage",
+        format_table(rows, title=f"E6 — precision/coverage vs τ (calibrated τ = {calibrated_tau:.2f})"),
+    )
+
+    coverages = [point["coverage"] for point in curve]
+    precisions = [point["precision"] for point in curve]
+    # Shape: coverage decreases monotonically with τ; precision at high τ is at
+    # least as good as at τ=0.
+    assert coverages == sorted(coverages, reverse=True)
+    assert max(precisions[-4:]) >= precisions[0] - 1e-9
+    assert 0.0 <= calibrated_tau <= 1.0

@@ -1,0 +1,105 @@
+"""E8 (Section 2.2): web-trained vs. database-trained models.
+
+The paper's central argument for GitTables: models pretrained on web tables do
+not transfer to enterprise database tables, because web tables are small,
+homogeneous, and cover a narrow slice of enterprise semantics.  This
+experiment trains the same learned classifier twice — once on the
+WebTables-like corpus and once on the GitTables-like corpus of equal size —
+and evaluates both on held-out database-like tables.
+
+Expected shape: the database-trained model wins by a wide margin; a large part
+of the gap is label coverage (types web tables never contain).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus import GitTablesConfig, GitTablesGenerator, WebTablesGenerator
+from repro.corpus.webtables import WebTablesConfig
+from repro.embedding_model import TableEmbeddingClassifier
+from repro.evaluation import evaluate_annotator, format_table
+from repro.nn import MLPConfig
+
+_TRAIN_TABLES = 80
+_EPOCHS = 30
+
+
+class _ClassifierAnnotator:
+    """Adapter: bare classifier → table annotator for the evaluation harness."""
+
+    def __init__(self, classifier):
+        self.classifier = classifier
+
+    def annotate(self, table):
+        from repro.core.prediction import ColumnPrediction, TablePrediction
+
+        predictions = []
+        for index, column in enumerate(table.columns):
+            scores = self.classifier.predict_column(column, table, top_k=3)
+            abstained = not scores or scores[0].type_name == "unknown"
+            predictions.append(
+                ColumnPrediction(
+                    column_index=index,
+                    column_name=column.name,
+                    scores=[s for s in scores if s.type_name != "unknown"],
+                    source_step="table_embedding",
+                    abstained=abstained,
+                )
+            )
+        return TablePrediction(table_name=table.name, columns=predictions)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    web = WebTablesGenerator(WebTablesConfig(num_tables=_TRAIN_TABLES, seed=701)).generate_corpus()
+    database = GitTablesGenerator(GitTablesConfig(num_tables=_TRAIN_TABLES, seed=702)).generate_corpus()
+    held_out = GitTablesGenerator(GitTablesConfig(num_tables=20, seed=703)).generate_corpus()
+    return web, database, held_out
+
+
+def test_training_data_relevance_gap(benchmark, corpora, record_result):
+    web_corpus, database_corpus, held_out = corpora
+
+    def train(corpus, seed):
+        classifier = TableEmbeddingClassifier(
+            mlp_config=MLPConfig(max_epochs=_EPOCHS, hidden_sizes=(128, 64), seed=seed)
+        )
+        classifier.fit(corpus)
+        return classifier
+
+    web_model = train(web_corpus, seed=1)
+    database_model = benchmark.pedantic(
+        train, args=(database_corpus,), kwargs={"seed": 2}, rounds=1, iterations=1
+    )
+
+    rows = []
+    held_out_types = set(held_out.semantic_types())
+    for name, model, corpus in (
+        ("web-trained (WebTables-like)", web_model, web_corpus),
+        ("database-trained (GitTables-like)", database_model, database_corpus),
+    ):
+        result = evaluate_annotator(_ClassifierAnnotator(model), held_out, name=name)
+        covered = set(model.known_types()) & held_out_types
+        rows.append(
+            {
+                "training_corpus": name,
+                "training_columns": len(corpus.labeled_columns()),
+                "types_in_training": len(corpus.semantic_types()),
+                "held_out_types_covered": f"{len(covered)}/{len(held_out_types)}",
+                "accuracy": result.metrics.accuracy,
+                "macro_f1": result.metrics.macro_f1,
+                "coverage": result.metrics.coverage,
+            }
+        )
+
+    record_result(
+        "E8_training_data_gap",
+        format_table(rows, title="E8 — web-trained vs database-trained models on database tables"),
+    )
+
+    web_row, database_row = rows
+    assert database_row["accuracy"] > web_row["accuracy"] + 0.1, (
+        "the database-trained model should clearly beat the web-trained one on database tables"
+    )
+    assert database_row["macro_f1"] > web_row["macro_f1"]

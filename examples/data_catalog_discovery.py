@@ -1,0 +1,92 @@
+"""Data-catalog discovery: annotate a warehouse of tables with calibrated precision.
+
+Run with:  python examples/data_catalog_discovery.py
+
+The paper motivates table understanding with data search, discovery, and
+cataloging.  This example simulates that workload: a "warehouse" of database
+tables across several business domains is annotated in bulk, the precision
+threshold tau is calibrated on a validation split so the catalog only stores
+labels at >= 90% precision, and the resulting semantic-type inventory (the
+catalog index) is printed together with quality metrics and throughput.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import SigmaTyper, SigmaTyperConfig
+from repro.adaptation import GlobalModelConfig
+from repro.corpus import GitTablesConfig, GitTablesGenerator
+from repro.evaluation import evaluate_annotator, format_table
+from repro.nn import MLPConfig
+
+
+def build_system() -> SigmaTyper:
+    config = SigmaTyperConfig(
+        global_model=GlobalModelConfig(
+            pretraining_tables=80,
+            background_tables=15,
+            mlp=MLPConfig(max_epochs=25, hidden_sizes=(128, 64), seed=3),
+            seed=31,
+        )
+    )
+    return SigmaTyper.pretrained(config=config)
+
+
+def main() -> None:
+    print("Pretraining SigmaTyper ...")
+    typer = build_system()
+
+    # The customer's warehouse: tables from a few domains, held out from training.
+    warehouse = GitTablesGenerator(
+        GitTablesConfig(
+            num_tables=30,
+            seed=909,
+            themes=("sales_orders", "crm_customers", "finance_transactions", "logistics_shipments"),
+        )
+    ).generate_corpus()
+    validation, catalog_tables = warehouse.split(train_fraction=0.4, seed=1)
+
+    print(f"Warehouse: {len(warehouse)} tables, {warehouse.num_columns} columns "
+          f"({len(validation)} used for calibration, {len(catalog_tables)} cataloged)\n")
+
+    tau = typer.calibrate_tau(validation, target_precision=0.9)
+    print(f"Calibrated precision threshold tau = {tau:.2f} (target precision 90%)\n")
+
+    result = evaluate_annotator(typer, catalog_tables, name="catalog run")
+    print(format_table([result.summary()], title="Catalog annotation quality"))
+    print()
+
+    # Build the catalog index: semantic type -> columns discovered.
+    inventory: Counter[str] = Counter()
+    abstained = 0
+    for table in catalog_tables:
+        prediction = typer.annotate(table)
+        for column_prediction in prediction:
+            if column_prediction.abstained:
+                abstained += 1
+                continue
+            inventory[column_prediction.predicted_type] += 1
+
+    rows = [
+        {"semantic_type": type_name, "columns_discovered": count}
+        for type_name, count in inventory.most_common(15)
+    ]
+    print(format_table(rows, title="Catalog index (top 15 semantic types)"))
+    print(f"\nColumns left unlabeled for manual review (abstentions): {abstained}")
+
+    # A catalog consumer can now answer questions like "where do we store emails?".
+    target = "email"
+    locations = []
+    for table in catalog_tables:
+        prediction = typer.annotate(table)
+        for column_prediction in prediction:
+            if column_prediction.predicted_type == target and not column_prediction.abstained:
+                locations.append(f"{table.name}.{column_prediction.column_name}")
+    print(f"\nColumns cataloged as `{target}`:")
+    for location in locations[:10]:
+        print(f"  - {location}")
+
+
+if __name__ == "__main__":
+    main()

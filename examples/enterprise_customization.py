@@ -1,0 +1,100 @@
+"""Enterprise customization via DPBD: the Fig. 3 walk-through, end to end.
+
+Run with:  python examples/enterprise_customization.py
+
+A customer ("acme") reviews the predictions for a revenue/salary-style table.
+The user corrects one column ("Income" -> salary), SigmaTyper infers labeling
+functions from the demonstration, mines its source corpus for weakly labeled
+training data, and adapts the customer's local model.  The script shows the
+prediction before and after feedback, the inferred labeling functions, the
+weight vectors W_g / W_l evolving over repeated feedback, and that a second
+customer remains unaffected (tenant isolation).
+"""
+
+from __future__ import annotations
+
+from repro import SigmaTyper, SigmaTyperConfig, Table
+from repro.adaptation import GlobalModelConfig
+from repro.nn import MLPConfig
+
+
+def build_system() -> SigmaTyper:
+    config = SigmaTyperConfig(
+        global_model=GlobalModelConfig(
+            pretraining_tables=60,
+            background_tables=12,
+            mlp=MLPConfig(max_epochs=20, hidden_sizes=(96, 48), seed=5),
+            seed=23,
+        )
+    )
+    return SigmaTyper.pretrained(config=config)
+
+
+def fig3_table() -> Table:
+    return Table.from_columns_dict(
+        {
+            "Name": ["Han Phi", "Thomas Do", "Alexis Nan", "Ingrid Berg"],
+            "Income": ["$ 50K", "$ 60K", "$ 70K", "$ 65K"],
+            "Company": ["nytco", "Adyen", "Sigma", "Globex"],
+            "Cities": ["New York", "Amsterdam", "San Francisco", "Oslo"],
+        },
+        name="fig3_employees",
+    )
+
+
+def show_prediction(title: str, prediction) -> None:
+    print(title)
+    for column_prediction in prediction:
+        print(
+            f"  {column_prediction.column_name:>8} -> {column_prediction.predicted_type:<12}"
+            f" ({column_prediction.confidence:.2f}, via {column_prediction.source_step})"
+        )
+    print()
+
+
+def main() -> None:
+    print("Pretraining the shared global model ...")
+    typer = build_system()
+    typer.register_customer("acme")
+    typer.register_customer("globex")  # a second tenant, never gives feedback
+
+    table = fig3_table()
+    print(table.preview(), "\n")
+
+    before = typer.annotate(table, customer_id="acme")
+    show_prediction("Predictions for customer 'acme' BEFORE feedback:", before)
+
+    print("User relabels the 'Income' column to `salary` (Fig. 3 step ①) ...\n")
+    update = typer.give_feedback("acme", table, "Income", "salary", previous_type="revenue")
+
+    print("Inferred labeling functions (Fig. 3 step ②):")
+    for function in update.labeling_functions:
+        print(f"  - {type(function).__name__:<18} {function.name}")
+    print(f"\nWeakly labeled training examples mined from the source corpus (steps ③/④): "
+          f"{len(update.weak_labels)}")
+    print(f"Total training examples added to the local model: {update.num_training_examples}\n")
+
+    after = typer.annotate(table, customer_id="acme")
+    show_prediction("Predictions for customer 'acme' AFTER one correction:", after)
+
+    print("Repeating the correction on further tables increases the local weight W_l:")
+    local_model = typer.customer("acme").local_model
+    for round_number in range(2, 5):
+        typer.give_feedback("acme", table, "Income", "salary")
+        weight = local_model.weights.local_weight("salary")
+        print(f"  after {round_number} corrections: W_l[salary] = {weight:.2f}, "
+              f"W_g[salary] = {1 - weight:.2f}")
+    print()
+
+    untouched = typer.annotate(table, customer_id="globex")
+    show_prediction("Customer 'globex' (no feedback) still sees the global predictions:", untouched)
+
+    print("Customer summary for 'acme':")
+    summary = typer.customer("acme").summary()
+    print(f"  feedback events : {summary['feedback']}")
+    print(f"  labeling funcs  : {summary['local_model']['labeling_functions']}")
+    print(f"  local weights   : {summary['local_model']['local_weights']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Out-of-distribution handling: abstaining instead of guessing.
+
+Run with:  python examples/out_of_distribution_handling.py
+
+Challenge 3 of the paper: a table-understanding system "should avoid inferring
+labels" for tables and semantics far from its training distribution, because a
+wrong-but-confident label erodes user trust.  This example feeds SigmaTyper a
+mix of familiar enterprise columns and columns whose types are outside the
+ontology (DNA sequences, chess openings, licence plates, ...), and shows how
+the background `unknown` class, the confidence scores, and the tau threshold
+combine into abstentions for the unfamiliar columns.
+"""
+
+from __future__ import annotations
+
+from repro import SigmaTyper, SigmaTyperConfig, Table
+from repro.adaptation import GlobalModelConfig
+from repro.corpus import build_ood_corpus
+from repro.embedding_model import OODDetector
+from repro.nn import MLPConfig
+
+
+def build_system() -> SigmaTyper:
+    config = SigmaTyperConfig(
+        global_model=GlobalModelConfig(
+            pretraining_tables=70,
+            background_tables=20,
+            mlp=MLPConfig(max_epochs=25, hidden_sizes=(128, 64), seed=13),
+            seed=41,
+        )
+    )
+    return SigmaTyper.pretrained(config=config)
+
+
+def research_table() -> Table:
+    """A table mixing familiar columns with clearly out-of-distribution ones."""
+    return Table.from_columns_dict(
+        {
+            "sample_id": ["S-1001", "S-1002", "S-1003", "S-1004"],
+            "collected_on": ["2024-03-01", "2024-03-02", "2024-03-05", "2024-03-09"],
+            "lab_city": ["Utrecht", "Leiden", "Delft", "Groningen"],
+            "dna_fragment": [
+                "ACGTTGCAACGTAGCTAGGTC",
+                "TTGACGGATCCAGTACGATCA",
+                "CGATCGATTACGGATCCTTGA",
+                "GGCATCGTACGATCGGATCCA",
+            ],
+            "favourite_opening": [
+                "Sicilian Defense",
+                "Queen's Gambit",
+                "Caro-Kann Defense",
+                "King's Indian Defense",
+            ],
+        },
+        name="research_samples",
+    )
+
+
+def main() -> None:
+    print("Pretraining SigmaTyper (with the background `unknown` class) ...")
+    typer = build_system()
+    typer.set_tau(0.5)
+
+    table = research_table()
+    print(table.preview(), "\n")
+
+    prediction = typer.annotate(table)
+    print("Predictions (abstentions marked):")
+    for column_prediction in prediction:
+        marker = "ABSTAINED — left for manual labeling" if column_prediction.abstained else ""
+        top = ", ".join(
+            f"{score.type_name}={score.confidence:.2f}" for score in column_prediction.top_k(2)
+        )
+        print(f"  {column_prediction.column_name:>18} -> {column_prediction.predicted_type:<12} {marker}")
+        print(f"  {'':>18}    candidates: {top}")
+    print()
+
+    # Quantify abstention behaviour on a larger OOD corpus.
+    classifier = typer.global_model.classifier
+    assert classifier is not None
+    ood_corpus = build_ood_corpus(num_tables=10, seed=77)
+    detector = OODDetector(classifier, method="max_softmax", accept_fraction=0.95)
+    in_columns = [
+        (column, table)
+        for table in [research_table()]
+        for column in table.columns
+        if column.name in ("sample_id", "collected_on", "lab_city")
+    ]
+    detector.calibrate(in_columns)
+
+    flagged = total = 0
+    for ood_table in ood_corpus:
+        for column in ood_table.columns:
+            if not str(column.semantic_type or "").startswith("ood:"):
+                continue
+            total += 1
+            flagged += detector.is_out_of_distribution(column, ood_table)
+    print(f"OOD detector flagged {flagged}/{total} truly out-of-distribution columns "
+          f"(threshold = {detector.threshold:.3f})")
+
+    abstentions = sum(
+        typer.annotate(ood_table).abstention_rate() * ood_table.num_columns
+        for ood_table in ood_corpus
+    )
+    print(f"Full-pipeline abstentions across the OOD corpus: "
+          f"{abstentions:.0f} of {ood_corpus.num_columns} columns")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pinned toolchain in the offline environment (setuptools 65, no ``wheel``
+package) cannot perform PEP 660 editable installs, so this ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` fall back to the
+legacy develop-mode install.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Global/local model architecture and per-customer adaptation (Fig. 2)."""
+
+from repro.adaptation.customer import CustomerContext
+from repro.adaptation.global_model import GlobalModel, GlobalModelConfig
+from repro.adaptation.local_model import LocalModel, LocalModelConfig
+from repro.adaptation.weights import GlobalLocalWeights, WeightScheduleConfig
+
+__all__ = [
+    "GlobalLocalWeights",
+    "WeightScheduleConfig",
+    "GlobalModel",
+    "GlobalModelConfig",
+    "LocalModel",
+    "LocalModelConfig",
+    "CustomerContext",
+]

@@ -1,0 +1,62 @@
+"""Customer context: one tenant's local model, DPBD session, and history.
+
+Figure 2 shows one global model and ``N`` customers, each with an App UI, a
+DPBD loop, and a local model.  :class:`CustomerContext` is the per-tenant
+bundle the :class:`~repro.core.sigmatyper.SigmaTyper` facade manages; it owns
+no prediction logic of its own beyond delegating to its parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adaptation.local_model import LocalModel, LocalModelConfig
+from repro.corpus.collection import TableCorpus
+from repro.dpbd.session import AdaptationUpdate, DPBDSession
+from repro.dpbd.feedback import FeedbackLog
+
+__all__ = ["CustomerContext"]
+
+
+@dataclass
+class CustomerContext:
+    """Everything SigmaTyper tracks for one customer."""
+
+    customer_id: str
+    local_model: LocalModel
+    dpbd: DPBDSession
+    #: Updates applied so far, in order (useful for audits and the benchmarks).
+    applied_updates: list[AdaptationUpdate] = field(default_factory=list)
+
+    @classmethod
+    def create(
+        cls,
+        customer_id: str,
+        source_corpus: TableCorpus | None = None,
+        local_config: LocalModelConfig | None = None,
+        classifier=None,
+    ) -> "CustomerContext":
+        """Build a fresh customer context around a shared source corpus."""
+        return cls(
+            customer_id=customer_id,
+            local_model=LocalModel(customer_id, config=local_config, classifier=classifier),
+            dpbd=DPBDSession(source_corpus=source_corpus),
+        )
+
+    @property
+    def feedback_log(self) -> FeedbackLog:
+        """The DPBD session's feedback history."""
+        return self.dpbd.log
+
+    def apply(self, update: AdaptationUpdate) -> None:
+        """Apply one DPBD update to the local model and remember it."""
+        self.local_model.apply_update(update)
+        self.applied_updates.append(update)
+
+    def summary(self) -> dict[str, object]:
+        """Customer-level report combining feedback and local-model state."""
+        return {
+            "customer_id": self.customer_id,
+            "feedback": self.feedback_log.summary(),
+            "local_model": self.local_model.summary(),
+        }

@@ -1,0 +1,129 @@
+"""Per-type weight vectors for combining the global and local models (Fig. 2).
+
+"The influence of the global and local models on the final prediction is
+captured in weight vectors representing the influence of each model per type,
+i.e. W_g for the global model and W_l for the local model.  Over time, the
+influence of the local model on the final prediction increases."
+
+:class:`GlobalLocalWeights` maintains, per semantic type, the number of
+feedback observations the local model has accumulated and converts it into a
+pair of weights ``(w_global, w_local)`` under one of two growth schedules:
+
+* ``"saturating"`` (default): ``w_local = n / (n + k)`` — quick early growth
+  that asymptotes to 1, so the local model can never completely silence the
+  global model after a single correction;
+* ``"linear"``: ``w_local = min(cap, n / n_max)`` — the alternative schedule
+  benchmarked in the weight-schedule ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["WeightScheduleConfig", "GlobalLocalWeights"]
+
+
+@dataclass
+class WeightScheduleConfig:
+    """How quickly the local model's per-type influence grows."""
+
+    schedule: str = "saturating"
+    #: Pseudo-count for the saturating schedule (larger = slower growth).
+    saturation_k: float = 2.0
+    #: Observations needed to reach the cap under the linear schedule.
+    linear_n_max: float = 5.0
+    #: Maximum local weight (kept below 1 so the global model retains a voice).
+    max_local_weight: float = 0.9
+    #: Weight increment granted by an implicit (rather than explicit) signal.
+    implicit_observation_value: float = 0.5
+
+    def validate(self) -> None:
+        if self.schedule not in ("saturating", "linear"):
+            raise ConfigurationError("schedule must be 'saturating' or 'linear'")
+        if self.saturation_k <= 0 or self.linear_n_max <= 0:
+            raise ConfigurationError("schedule constants must be positive")
+        if not 0.0 < self.max_local_weight <= 1.0:
+            raise ConfigurationError("max_local_weight must be in (0, 1]")
+        if not 0.0 < self.implicit_observation_value <= 1.0:
+            raise ConfigurationError("implicit_observation_value must be in (0, 1]")
+
+
+@dataclass
+class GlobalLocalWeights:
+    """Per-type observation counts and the derived W_g / W_l weights."""
+
+    config: WeightScheduleConfig = field(default_factory=WeightScheduleConfig)
+    _observations: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+
+    # ------------------------------------------------------------ observations
+    def record_observation(self, type_name: str, implicit: bool = False) -> None:
+        """Register one feedback observation for *type_name*."""
+        if not type_name:
+            raise ConfigurationError("type_name must be non-empty")
+        increment = self.config.implicit_observation_value if implicit else 1.0
+        self._observations[type_name] = self._observations.get(type_name, 0.0) + increment
+
+    def observation_count(self, type_name: str) -> float:
+        """Accumulated (possibly fractional) observation count for a type."""
+        return self._observations.get(type_name, 0.0)
+
+    def observed_types(self) -> list[str]:
+        """Types with at least one observation, sorted."""
+        return sorted(self._observations)
+
+    # ----------------------------------------------------------------- weights
+    def local_weight(self, type_name: str) -> float:
+        """W_l for *type_name* (0.0 before any feedback)."""
+        count = self._observations.get(type_name, 0.0)
+        if count <= 0:
+            return 0.0
+        if self.config.schedule == "saturating":
+            raw = count / (count + self.config.saturation_k)
+        else:
+            raw = count / self.config.linear_n_max
+        return min(raw, self.config.max_local_weight)
+
+    def global_weight(self, type_name: str) -> float:
+        """W_g for *type_name* (complements the local weight)."""
+        return 1.0 - self.local_weight(type_name)
+
+    def weight_vectors(self) -> tuple[dict[str, float], dict[str, float]]:
+        """``(W_g, W_l)`` restricted to the observed types."""
+        local = {type_name: self.local_weight(type_name) for type_name in self._observations}
+        global_ = {type_name: 1.0 - weight for type_name, weight in local.items()}
+        return global_, local
+
+    # --------------------------------------------------------------- combining
+    def combine_scores(
+        self,
+        global_scores: Mapping[str, float],
+        local_scores: Mapping[str, float],
+    ) -> dict[str, float]:
+        """Blend two per-type confidence maps with the per-type weights.
+
+        Types without local observations keep their global confidence
+        untouched; observed types are interpolated as
+        ``W_g · global + W_l · local``.
+        """
+        combined: dict[str, float] = {}
+        for type_name in set(global_scores) | set(local_scores):
+            w_local = self.local_weight(type_name)
+            w_global = 1.0 - w_local
+            combined[type_name] = (
+                w_global * float(global_scores.get(type_name, 0.0))
+                + w_local * float(local_scores.get(type_name, 0.0))
+            )
+        return combined
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "schedule": self.config.schedule,
+            "observations": dict(self._observations),
+        }

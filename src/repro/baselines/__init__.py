@@ -1,0 +1,14 @@
+"""Baseline column-type detectors: commercial-style rules, header-only,
+Sherlock-like, and Sato-like learned models."""
+
+from repro.baselines.base import BaselineDetector
+from repro.baselines.learned import SatoLikeBaseline, SherlockLikeBaseline
+from repro.baselines.rule_based import HeaderOnlyBaseline, RegexDictionaryBaseline
+
+__all__ = [
+    "BaselineDetector",
+    "RegexDictionaryBaseline",
+    "HeaderOnlyBaseline",
+    "SherlockLikeBaseline",
+    "SatoLikeBaseline",
+]

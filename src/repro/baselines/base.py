@@ -1,0 +1,57 @@
+"""Common interface for the baseline column-type detectors.
+
+The paper motivates SigmaTyper against two families of existing approaches:
+the regex/dictionary matchers of commercial systems (Trifacta, Talend, Google
+Data Studio) and the learned detectors of the research literature (Sherlock,
+Sato).  Every baseline implements :class:`BaselineDetector` so the comparison
+benchmark (E9) and the evaluation harness can treat them and SigmaTyper
+uniformly: tables in, :class:`~repro.core.prediction.TablePrediction` out.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+
+__all__ = ["BaselineDetector"]
+
+
+class BaselineDetector(ABC):
+    """A self-contained column type detector with a uniform interface."""
+
+    #: Human-readable identifier used in benchmark reports.
+    name: str = "baseline"
+
+    def fit(self, corpus: TableCorpus) -> "BaselineDetector":
+        """Train on an annotated corpus.  Rule-based baselines are no-ops."""
+        return self
+
+    @abstractmethod
+    def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
+        """Ranked candidate types for one column (empty list = no prediction)."""
+
+    def predict_type(self, column: Column, table: Table | None = None) -> str:
+        """Single best type, or :data:`UNKNOWN_TYPE` when the detector abstains."""
+        scores = self.predict_column(column, table)
+        return scores[0].type_name if scores else UNKNOWN_TYPE
+
+    def annotate(self, table: Table, tau: float = 0.0) -> TablePrediction:
+        """Annotate a whole table, abstaining below the confidence threshold *tau*."""
+        predictions = []
+        for index, column in enumerate(table.columns):
+            scores = self.predict_column(column, table)
+            abstained = not scores or scores[0].confidence < tau or scores[0].type_name == UNKNOWN_TYPE
+            predictions.append(
+                ColumnPrediction(
+                    column_index=index,
+                    column_name=column.name,
+                    scores=[s for s in scores if s.type_name != UNKNOWN_TYPE][:3],
+                    source_step=self.name,
+                    abstained=abstained,
+                )
+            )
+        return TablePrediction(table_name=table.name, columns=predictions)

@@ -1,0 +1,72 @@
+"""Learned baselines in the spirit of Sherlock and Sato.
+
+* :class:`SherlockLikeBaseline` — a single-column learned detector: value
+  statistics, character/shape features, and value text embeddings feed an
+  MLP; no header, no table context.  This mirrors Sherlock's design point.
+* :class:`SatoLikeBaseline` — Sherlock's features plus table-context
+  aggregates over the neighbouring columns, mirroring Sato's insight that
+  surrounding columns disambiguate a column's type.
+
+Both are trained on the same annotated corpus as SigmaTyper's learned step,
+making the comparison benchmark (E9) a like-for-like one: the difference
+measured is the *system design* (hybrid cascade, lookup rules, abstention),
+not the training data.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineDetector
+from repro.core.errors import ModelNotTrainedError
+from repro.core.prediction import TypeScore
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+from repro.embedding_model.classifier import TableEmbeddingClassifier
+from repro.embedding_model.features import ColumnFeaturizer, FeaturizerConfig
+from repro.nn.model import MLPConfig
+
+__all__ = ["SherlockLikeBaseline", "SatoLikeBaseline"]
+
+
+class _LearnedBaseline(BaselineDetector):
+    """Shared implementation: a TableEmbeddingClassifier with restricted features."""
+
+    def __init__(self, featurizer: ColumnFeaturizer, mlp_config: MLPConfig | None = None) -> None:
+        self._classifier = TableEmbeddingClassifier(
+            featurizer=featurizer,
+            mlp_config=mlp_config or MLPConfig(max_epochs=40),
+        )
+        self._use_table_context = featurizer.config.include_table_context
+
+    def fit(self, corpus: TableCorpus) -> "_LearnedBaseline":
+        self._classifier.fit(corpus)
+        return self
+
+    def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
+        if not self._classifier.is_fitted:
+            raise ModelNotTrainedError(f"{self.name} baseline used before fit")
+        context = table if self._use_table_context else None
+        return self._classifier.predict_column(column, context)
+
+
+class SherlockLikeBaseline(_LearnedBaseline):
+    """Single-column learned detector (values only, no header, no context)."""
+
+    name = "sherlock_like"
+
+    def __init__(self, mlp_config: MLPConfig | None = None) -> None:
+        featurizer = ColumnFeaturizer(
+            config=FeaturizerConfig(include_header=False, include_table_context=False)
+        )
+        super().__init__(featurizer, mlp_config)
+
+
+class SatoLikeBaseline(_LearnedBaseline):
+    """Single-column features plus table-context aggregates (no header)."""
+
+    name = "sato_like"
+
+    def __init__(self, mlp_config: MLPConfig | None = None) -> None:
+        featurizer = ColumnFeaturizer(
+            config=FeaturizerConfig(include_header=False, include_table_context=True)
+        )
+        super().__init__(featurizer, mlp_config)

@@ -1,0 +1,89 @@
+"""Rule-based baselines: commercial-style regex/dictionary matching and
+header-only matching.
+
+Section 1 of the paper observes that commercial data systems "primarily rely
+on simpler methods like regular expression matching for detecting a limited
+set of semantic types".  :class:`RegexDictionaryBaseline` reproduces that
+approach (regex rules plus a dictionary lookup, no learning, no table
+context), and :class:`HeaderOnlyBaseline` isolates the header-matching signal
+on its own.  Both are used in the system-comparison benchmark (E9) and in the
+pipeline ablations (E11).
+"""
+
+from __future__ import annotations
+
+from repro.core.ontology import TypeOntology, build_default_ontology
+from repro.core.prediction import TypeScore
+from repro.core.table import Column, Table
+from repro.baselines.base import BaselineDetector
+from repro.lookup.knowledge_base import KnowledgeBase
+from repro.lookup.regex_library import RegexLibrary
+from repro.matching.header_matcher import HeaderMatcher, HeaderMatcherConfig
+
+__all__ = ["RegexDictionaryBaseline", "HeaderOnlyBaseline"]
+
+
+class RegexDictionaryBaseline(BaselineDetector):
+    """Regexes + dictionary lookups over sampled values; no learning.
+
+    This is the commercial-systems stand-in: high precision on the types its
+    rules cover, but limited coverage — exactly the trade-off the paper's
+    hybrid design is meant to overcome.
+    """
+
+    name = "regex_dictionary"
+
+    def __init__(
+        self,
+        regex_library: RegexLibrary | None = None,
+        knowledge_base: KnowledgeBase | None = None,
+        sample_size: int = 50,
+        min_confidence: float = 0.5,
+    ) -> None:
+        self.regex_library = regex_library if regex_library is not None else RegexLibrary()
+        self.knowledge_base = knowledge_base if knowledge_base is not None else KnowledgeBase.default()
+        self.sample_size = sample_size
+        self.min_confidence = min_confidence
+
+    def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
+        candidates: dict[str, float] = {}
+        for source in (
+            self.regex_library.match_column(column, sample_size=self.sample_size),
+            self.knowledge_base.lookup_column(column, sample_size=self.sample_size),
+        ):
+            for type_name, confidence in source.items():
+                if confidence > candidates.get(type_name, 0.0):
+                    candidates[type_name] = confidence
+        scores = [
+            TypeScore(confidence=confidence, type_name=type_name)
+            for type_name, confidence in candidates.items()
+            if confidence >= self.min_confidence
+        ]
+        scores.sort(key=lambda score: (-score.confidence, score.type_name))
+        return scores
+
+    @property
+    def covered_types(self) -> list[str]:
+        """Types this baseline can ever predict."""
+        return sorted(set(self.regex_library.covered_types) | set(self.knowledge_base.known_types))
+
+
+class HeaderOnlyBaseline(BaselineDetector):
+    """Syntactic + semantic header matching with no value evidence at all."""
+
+    name = "header_only"
+
+    def __init__(
+        self,
+        ontology: TypeOntology | None = None,
+        config: HeaderMatcherConfig | None = None,
+    ) -> None:
+        ontology = ontology or build_default_ontology()
+        # Value-based kind filtering is disabled: this baseline must not peek
+        # at the column values, only at the header string.
+        config = config or HeaderMatcherConfig(filter_by_data_kind=False)
+        config.filter_by_data_kind = False
+        self.matcher = HeaderMatcher.with_trained_embedder(ontology, config=config)
+
+    def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
+        return self.matcher.predict_column(column, table)

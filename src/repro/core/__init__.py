@@ -1,0 +1,49 @@
+"""Core substrate: tables, data types, the semantic type ontology, and the
+SigmaTyper prediction pipeline."""
+
+from repro.core.datatypes import DataType, infer_column_type, infer_value_type
+from repro.core.errors import (
+    ColumnNotFoundError,
+    ConfigurationError,
+    CorpusError,
+    FeedbackError,
+    LabelingFunctionError,
+    ModelNotTrainedError,
+    OntologyError,
+    PipelineError,
+    ReproError,
+    SerializationError,
+    TableError,
+)
+from repro.core.ontology import (
+    UNKNOWN_TYPE,
+    DataKind,
+    SemanticType,
+    TypeOntology,
+    build_default_ontology,
+)
+from repro.core.table import Column, Table
+
+__all__ = [
+    "DataType",
+    "infer_column_type",
+    "infer_value_type",
+    "Column",
+    "Table",
+    "DataKind",
+    "SemanticType",
+    "TypeOntology",
+    "build_default_ontology",
+    "UNKNOWN_TYPE",
+    "ReproError",
+    "ConfigurationError",
+    "OntologyError",
+    "TableError",
+    "ColumnNotFoundError",
+    "PipelineError",
+    "ModelNotTrainedError",
+    "FeedbackError",
+    "LabelingFunctionError",
+    "CorpusError",
+    "SerializationError",
+]

@@ -1,0 +1,194 @@
+"""Aggregation of per-step confidence scores and the precision threshold τ.
+
+Section 4.3 of the paper: "The final prediction for each column is the soft
+majority vote based on the concatenated confidence scores from each step. An
+optimal aggregation function can be learned as well.  We infer a parameter τ
+and threshold predictions that are below τ such that the precision of the
+system is high."
+
+This module implements
+
+* the soft majority vote (a per-type weighted average of step confidences),
+  a hard majority vote, and a max-confidence merge (the alternatives used in
+  the ablation benchmark),
+* :class:`Aggregator`, which applies one of those functions with optional
+  per-step weights, and
+* :func:`calibrate_tau`, which picks τ from scored validation predictions so
+  that a target precision is reached with maximal coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.prediction import TypeScore, merge_scores
+
+__all__ = [
+    "soft_majority_vote",
+    "hard_majority_vote",
+    "max_confidence_vote",
+    "Aggregator",
+    "calibrate_tau",
+]
+
+
+def soft_majority_vote(
+    step_scores: Mapping[str, Sequence[TypeScore]],
+    step_weights: Mapping[str, float] | None = None,
+) -> list[TypeScore]:
+    """Weighted average of per-step confidences for each candidate type.
+
+    Steps that ran but produced no score for a type contribute a zero for it,
+    so a type endorsed by every executed step outranks a type endorsed by a
+    single step at equal raw confidence — the "majority" part of the vote.
+    """
+    executed = {name: scores for name, scores in step_scores.items() if scores is not None}
+    if not executed:
+        return []
+    weights = {name: 1.0 for name in executed}
+    if step_weights:
+        for name in weights:
+            weights[name] = float(step_weights.get(name, 1.0))
+    total_weight = sum(weights.values())
+    if total_weight <= 0:
+        return []
+
+    accumulated: dict[str, float] = {}
+    for step_name, scores in executed.items():
+        weight = weights[step_name]
+        for score in scores:
+            accumulated[score.type_name] = accumulated.get(score.type_name, 0.0) + weight * score.confidence
+    averaged = [
+        TypeScore(confidence=value / total_weight, type_name=type_name)
+        for type_name, value in accumulated.items()
+    ]
+    averaged.sort(key=lambda s: (-s.confidence, s.type_name))
+    return averaged
+
+
+def hard_majority_vote(
+    step_scores: Mapping[str, Sequence[TypeScore]],
+    step_weights: Mapping[str, float] | None = None,
+) -> list[TypeScore]:
+    """Each executed step casts one (weighted) vote for its top candidate.
+
+    The returned confidence is the vote share; ties are broken by the mean
+    raw confidence of the tied types so the output remains deterministic.
+    """
+    executed = {name: list(scores) for name, scores in step_scores.items() if scores}
+    if not executed:
+        return []
+    weights = {name: 1.0 for name in executed}
+    if step_weights:
+        for name in weights:
+            weights[name] = float(step_weights.get(name, 1.0))
+    total_weight = sum(weights.values())
+    votes: dict[str, float] = {}
+    raw_confidence: dict[str, list[float]] = {}
+    for step_name, scores in executed.items():
+        top = max(scores, key=lambda s: s.confidence)
+        votes[top.type_name] = votes.get(top.type_name, 0.0) + weights[step_name]
+        raw_confidence.setdefault(top.type_name, []).append(top.confidence)
+    ranked = [
+        TypeScore(confidence=vote / total_weight, type_name=type_name)
+        for type_name, vote in votes.items()
+    ]
+    ranked.sort(
+        key=lambda s: (
+            -s.confidence,
+            -(sum(raw_confidence[s.type_name]) / len(raw_confidence[s.type_name])),
+            s.type_name,
+        )
+    )
+    return ranked
+
+
+def max_confidence_vote(
+    step_scores: Mapping[str, Sequence[TypeScore]],
+    step_weights: Mapping[str, float] | None = None,
+) -> list[TypeScore]:
+    """Keep, per type, the single highest confidence any step produced."""
+    del step_weights  # the max merge is weight-free by definition
+    return merge_scores([scores for scores in step_scores.values() if scores])
+
+
+_METHODS = {
+    "soft_majority": soft_majority_vote,
+    "hard_majority": hard_majority_vote,
+    "max": max_confidence_vote,
+}
+
+
+@dataclass
+class Aggregator:
+    """Combines per-step candidate lists into one final ranking.
+
+    Parameters
+    ----------
+    method:
+        ``"soft_majority"`` (the paper's default), ``"hard_majority"``, or
+        ``"max"``.
+    step_weights:
+        Optional per-step weights (e.g. to trust the learned model more than
+        the regex lookup); missing steps default to ``1.0``.
+    """
+
+    method: str = "soft_majority"
+    step_weights: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.method not in _METHODS:
+            raise ConfigurationError(
+                f"unknown aggregation method {self.method!r}; expected one of {sorted(_METHODS)}"
+            )
+
+    def combine(self, step_scores: Mapping[str, Sequence[TypeScore]]) -> list[TypeScore]:
+        """Aggregate the per-step scores of one column."""
+        return _METHODS[self.method](step_scores, self.step_weights)
+
+
+def calibrate_tau(
+    scored_predictions: Iterable[tuple[float, bool]],
+    target_precision: float = 0.95,
+    grid_size: int = 101,
+) -> float:
+    """Choose the precision threshold τ from validation predictions.
+
+    Parameters
+    ----------
+    scored_predictions:
+        Pairs ``(confidence, is_correct)`` for validation columns where the
+        system produced a prediction.
+    target_precision:
+        The precision the deployment wants to guarantee; τ is the smallest
+        threshold on the grid whose retained predictions reach it (maximising
+        coverage subject to the precision constraint).  When no threshold
+        reaches the target, the threshold with the best precision is returned.
+
+    Returns
+    -------
+    float
+        The calibrated τ in ``[0, 1]``.
+    """
+    if not 0.0 < target_precision <= 1.0:
+        raise ConfigurationError("target_precision must be in (0, 1]")
+    pairs = [(float(confidence), bool(correct)) for confidence, correct in scored_predictions]
+    if not pairs:
+        return 0.0
+
+    best_tau = 1.0
+    best_precision = -1.0
+    for index in range(grid_size):
+        tau = index / (grid_size - 1)
+        retained = [correct for confidence, correct in pairs if confidence >= tau]
+        if not retained:
+            continue
+        precision = sum(retained) / len(retained)
+        if precision >= target_precision:
+            return tau
+        if precision > best_precision:
+            best_precision = precision
+            best_tau = tau
+    return best_tau

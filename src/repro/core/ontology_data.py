@@ -1,0 +1,666 @@
+"""Built-in DBpedia-style semantic type definitions.
+
+This module is pure data: a list of keyword-argument dictionaries consumed by
+:func:`repro.core.ontology.build_default_ontology`.  The selection mirrors the
+kind of coverage the paper attributes to the DBpedia ontology on GitTables —
+types common in enterprise, science, and medical databases — organised in a
+shallow hierarchy of category nodes with leaf types underneath.
+
+Synonyms double as header-matching vocabulary: they include the clean labels,
+common abbreviations, and snake/camel variants one finds in real database
+exports.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_TYPE_DEFINITIONS", "CATEGORY_TYPES"]
+
+#: Non-leaf category nodes.  They exist so the ontology has a meaningful
+#: hierarchy (used for distance computations and coarse evaluation), but the
+#: corpus generators only annotate columns with leaf types.
+CATEGORY_TYPES: tuple[str, ...] = (
+    "thing",
+    "agent",
+    "person_attribute",
+    "organization_attribute",
+    "place",
+    "temporal",
+    "identifier",
+    "monetary",
+    "measurement",
+    "commerce",
+    "finance",
+    "medical",
+    "web",
+    "generic",
+)
+
+DEFAULT_TYPE_DEFINITIONS: list[dict] = [
+    # ----------------------------------------------------------- category nodes
+    {"name": "thing", "kind": "any", "description": "Root of the ontology."},
+    {"name": "agent", "parent": "thing", "kind": "any"},
+    {"name": "person_attribute", "parent": "agent", "kind": "any"},
+    {"name": "organization_attribute", "parent": "agent", "kind": "any"},
+    {"name": "place", "parent": "thing", "kind": "textual"},
+    {"name": "temporal", "parent": "thing", "kind": "temporal"},
+    {"name": "identifier", "parent": "thing", "kind": "any"},
+    {"name": "monetary", "parent": "thing", "kind": "numeric"},
+    {"name": "measurement", "parent": "thing", "kind": "numeric"},
+    {"name": "commerce", "parent": "thing", "kind": "any"},
+    {"name": "finance", "parent": "thing", "kind": "any"},
+    {"name": "medical", "parent": "thing", "kind": "any"},
+    {"name": "web", "parent": "thing", "kind": "textual"},
+    {"name": "generic", "parent": "thing", "kind": "any"},
+    # ------------------------------------------------------------------ person
+    {
+        "name": "name",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("full name", "person", "person name", "customer name", "employee name", "contact"),
+        "description": "Full name of a person.",
+    },
+    {
+        "name": "first_name",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("given name", "fname", "forename"),
+    },
+    {
+        "name": "last_name",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("surname", "family name", "lname"),
+    },
+    {
+        "name": "email",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("email address", "e-mail", "mail", "contact email"),
+    },
+    {
+        "name": "phone_number",
+        "parent": "person_attribute",
+        "kind": "any",
+        "synonyms": ("phone", "telephone", "mobile", "cell phone", "tel", "contact number", "fax"),
+    },
+    {
+        "name": "age",
+        "parent": "person_attribute",
+        "kind": "numeric",
+        "synonyms": ("age years", "years old"),
+    },
+    {
+        "name": "gender",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("sex",),
+    },
+    {
+        "name": "birth_date",
+        "parent": "person_attribute",
+        "kind": "temporal",
+        "synonyms": ("date of birth", "dob", "birthday", "born"),
+    },
+    {
+        "name": "nationality",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("citizenship",),
+    },
+    {
+        "name": "job_title",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("title", "position", "role", "occupation", "designation"),
+    },
+    {
+        "name": "username",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("user name", "login", "user id", "handle", "account name"),
+    },
+    {
+        "name": "ssn",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("social security number", "social security", "national id"),
+    },
+    {
+        "name": "marital_status",
+        "parent": "person_attribute",
+        "kind": "textual",
+        "synonyms": ("civil status",),
+    },
+    # ------------------------------------------------------------ organization
+    {
+        "name": "company",
+        "parent": "organization_attribute",
+        "kind": "textual",
+        "synonyms": ("company name", "organization", "organisation", "employer", "vendor", "supplier", "firm", "business"),
+    },
+    {
+        "name": "department",
+        "parent": "organization_attribute",
+        "kind": "textual",
+        "synonyms": ("dept", "division", "team", "business unit"),
+    },
+    {
+        "name": "industry",
+        "parent": "organization_attribute",
+        "kind": "textual",
+        "synonyms": ("sector", "vertical"),
+    },
+    {
+        "name": "salary",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("income", "wage", "pay", "compensation", "base salary", "annual salary"),
+    },
+    {
+        "name": "revenue",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("sales", "turnover", "annual revenue", "total sales", "gross revenue"),
+    },
+    {
+        "name": "employee_count",
+        "parent": "organization_attribute",
+        "kind": "numeric",
+        "synonyms": ("employees", "headcount", "number of employees", "staff count", "num employees"),
+    },
+    {
+        "name": "website",
+        "parent": "organization_attribute",
+        "kind": "textual",
+        "synonyms": ("web site", "homepage", "company website", "site"),
+    },
+    # ------------------------------------------------------------------- place
+    {
+        "name": "country",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("nation", "country name", "country of origin"),
+    },
+    {
+        "name": "country_code",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("iso country", "country iso", "cc", "iso code"),
+    },
+    {
+        "name": "city",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("town", "municipality", "city name", "locality"),
+    },
+    {
+        "name": "state",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("province", "region state", "state province", "state code"),
+    },
+    {
+        "name": "address",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("street address", "street", "address line", "mailing address", "location address"),
+    },
+    {
+        "name": "zip_code",
+        "parent": "place",
+        "kind": "any",
+        "synonyms": ("zip", "postal code", "postcode", "zipcode", "post code"),
+    },
+    {
+        "name": "latitude",
+        "parent": "place",
+        "kind": "numeric",
+        "synonyms": ("lat", "geo lat"),
+    },
+    {
+        "name": "longitude",
+        "parent": "place",
+        "kind": "numeric",
+        "synonyms": ("lon", "lng", "long", "geo lon"),
+    },
+    {
+        "name": "continent",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": (),
+    },
+    {
+        "name": "region",
+        "parent": "place",
+        "kind": "textual",
+        "synonyms": ("area", "zone", "territory", "sales region"),
+    },
+    # ---------------------------------------------------------------- temporal
+    {
+        "name": "date",
+        "parent": "temporal",
+        "kind": "temporal",
+        "synonyms": ("day date", "record date", "entry date", "order date", "created date", "start date", "end date"),
+    },
+    {
+        "name": "timestamp",
+        "parent": "temporal",
+        "kind": "temporal",
+        "synonyms": ("datetime", "date time", "created at", "updated at", "event time", "log time"),
+    },
+    {
+        "name": "year",
+        "parent": "temporal",
+        "kind": "numeric",
+        "synonyms": ("fiscal year", "yr", "calendar year"),
+    },
+    {
+        "name": "month",
+        "parent": "temporal",
+        "kind": "textual",
+        "synonyms": ("month name", "mon"),
+    },
+    {
+        "name": "day_of_week",
+        "parent": "temporal",
+        "kind": "textual",
+        "synonyms": ("weekday", "day", "dow"),
+    },
+    {
+        "name": "time",
+        "parent": "temporal",
+        "kind": "textual",
+        "synonyms": ("time of day", "clock time", "hour"),
+    },
+    {
+        "name": "duration",
+        "parent": "temporal",
+        "kind": "numeric",
+        "synonyms": ("elapsed time", "runtime", "length minutes", "time spent", "duration seconds"),
+    },
+    {
+        "name": "quarter",
+        "parent": "temporal",
+        "kind": "textual",
+        "synonyms": ("fiscal quarter", "qtr"),
+    },
+    # -------------------------------------------------------------- identifiers
+    {
+        "name": "id",
+        "parent": "identifier",
+        "kind": "any",
+        "synonyms": ("identifier", "record id", "row id", "key", "primary key", "pk"),
+    },
+    {
+        "name": "order_id",
+        "parent": "identifier",
+        "kind": "any",
+        "synonyms": ("order number", "order no", "purchase order", "po number"),
+    },
+    {
+        "name": "customer_id",
+        "parent": "identifier",
+        "kind": "any",
+        "synonyms": ("client id", "cust id", "customer number", "account id"),
+    },
+    {
+        "name": "product_id",
+        "parent": "identifier",
+        "kind": "any",
+        "synonyms": ("item id", "product code", "item number"),
+    },
+    {
+        "name": "sku",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("stock keeping unit", "article number"),
+    },
+    {
+        "name": "invoice_number",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("invoice no", "invoice id", "bill number"),
+    },
+    {
+        "name": "transaction_id",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("transaction number", "txn id", "payment id", "reference number"),
+    },
+    {
+        "name": "uuid",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("guid", "unique id"),
+    },
+    {
+        "name": "isbn",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("isbn 13", "isbn 10", "book number"),
+    },
+    {
+        "name": "patient_id",
+        "parent": "identifier",
+        "kind": "any",
+        "synonyms": ("patient number", "mrn", "medical record number"),
+    },
+    {
+        "name": "code",
+        "parent": "identifier",
+        "kind": "textual",
+        "synonyms": ("short code", "abbreviation", "ref code", "lookup code"),
+    },
+    # ---------------------------------------------------------------- commerce
+    {
+        "name": "product",
+        "parent": "commerce",
+        "kind": "textual",
+        "synonyms": ("product name", "item", "item name", "article", "goods"),
+    },
+    {
+        "name": "category",
+        "parent": "commerce",
+        "kind": "textual",
+        "synonyms": ("product category", "item category", "segment", "group", "class"),
+    },
+    {
+        "name": "brand",
+        "parent": "commerce",
+        "kind": "textual",
+        "synonyms": ("manufacturer", "make", "label brand"),
+    },
+    {
+        "name": "price",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("unit price", "cost", "list price", "retail price", "amount due"),
+    },
+    {
+        "name": "currency",
+        "parent": "monetary",
+        "kind": "textual",
+        "synonyms": ("currency code", "ccy", "currency symbol"),
+    },
+    {
+        "name": "quantity",
+        "parent": "commerce",
+        "kind": "numeric",
+        "synonyms": ("qty", "units", "count items", "number of units", "units sold", "order quantity"),
+    },
+    {
+        "name": "discount",
+        "parent": "commerce",
+        "kind": "numeric",
+        "synonyms": ("discount rate", "discount percent", "rebate", "markdown"),
+    },
+    {
+        "name": "tax_rate",
+        "parent": "commerce",
+        "kind": "numeric",
+        "synonyms": ("vat", "tax percent", "sales tax", "tax"),
+    },
+    {
+        "name": "payment_method",
+        "parent": "commerce",
+        "kind": "textual",
+        "synonyms": ("payment type", "pay method", "tender type"),
+    },
+    {
+        "name": "shipping_method",
+        "parent": "commerce",
+        "kind": "textual",
+        "synonyms": ("ship mode", "delivery method", "carrier"),
+    },
+    # ----------------------------------------------------------------- finance
+    {
+        "name": "iban",
+        "parent": "finance",
+        "kind": "textual",
+        "synonyms": ("bank account iban", "international bank account number"),
+    },
+    {
+        "name": "credit_card_number",
+        "parent": "finance",
+        "kind": "textual",
+        "synonyms": ("credit card", "card number", "cc number", "pan"),
+    },
+    {
+        "name": "account_number",
+        "parent": "finance",
+        "kind": "any",
+        "synonyms": ("bank account", "acct number", "account no"),
+    },
+    {
+        "name": "stock_symbol",
+        "parent": "finance",
+        "kind": "textual",
+        "synonyms": ("ticker", "ticker symbol", "stock ticker"),
+    },
+    {
+        "name": "market_cap",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("market capitalization", "market value"),
+    },
+    {
+        "name": "interest_rate",
+        "parent": "finance",
+        "kind": "numeric",
+        "synonyms": ("apr", "rate percent", "coupon rate"),
+    },
+    {
+        "name": "exchange_rate",
+        "parent": "finance",
+        "kind": "numeric",
+        "synonyms": ("fx rate", "conversion rate currency"),
+    },
+    {
+        "name": "profit",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("net income", "net profit", "earnings", "margin amount"),
+    },
+    {
+        "name": "budget",
+        "parent": "monetary",
+        "kind": "numeric",
+        "synonyms": ("allocated budget", "budget amount", "planned spend"),
+    },
+    # ----------------------------------------------------------------- medical
+    {
+        "name": "blood_type",
+        "parent": "medical",
+        "kind": "textual",
+        "synonyms": ("blood group",),
+    },
+    {
+        "name": "diagnosis",
+        "parent": "medical",
+        "kind": "textual",
+        "synonyms": ("condition", "icd code", "disease", "medical condition"),
+    },
+    {
+        "name": "medication",
+        "parent": "medical",
+        "kind": "textual",
+        "synonyms": ("drug", "medicine", "prescription", "drug name"),
+    },
+    {
+        "name": "dosage",
+        "parent": "medical",
+        "kind": "textual",
+        "synonyms": ("dose", "dosage mg", "strength"),
+    },
+    {
+        "name": "heart_rate",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("pulse", "bpm", "heart beats per minute"),
+    },
+    {
+        "name": "blood_pressure",
+        "parent": "measurement",
+        "kind": "textual",
+        "synonyms": ("bp", "systolic diastolic"),
+    },
+    # ------------------------------------------------------------- measurement
+    {
+        "name": "temperature",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("temp", "temperature celsius", "temperature f", "degrees"),
+    },
+    {
+        "name": "weight",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("mass", "weight kg", "weight lbs", "net weight"),
+    },
+    {
+        "name": "height",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("height cm", "stature", "elevation height"),
+    },
+    {
+        "name": "distance",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("length", "distance km", "mileage", "miles"),
+    },
+    {
+        "name": "area",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("surface area", "square meters", "sq ft", "acreage"),
+    },
+    {
+        "name": "speed",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("velocity", "speed kmh", "mph"),
+    },
+    {
+        "name": "percentage",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("percent", "pct", "share percent", "ratio percent", "growth rate"),
+    },
+    {
+        "name": "population",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("inhabitants", "population count", "number of residents"),
+    },
+    # --------------------------------------------------------------------- web
+    {
+        "name": "url",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("link", "web address", "uri", "page url"),
+    },
+    {
+        "name": "ip_address",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("ip", "ipv4", "host ip", "client ip"),
+    },
+    {
+        "name": "domain",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("domain name", "hostname", "host"),
+    },
+    {
+        "name": "user_agent",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("browser", "ua string"),
+    },
+    {
+        "name": "file_name",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("filename", "file", "document name", "attachment"),
+    },
+    {
+        "name": "file_size",
+        "parent": "measurement",
+        "kind": "numeric",
+        "synonyms": ("size bytes", "file size kb", "size mb"),
+    },
+    {
+        "name": "mime_type",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("content type", "media type", "file type"),
+    },
+    {
+        "name": "version",
+        "parent": "web",
+        "kind": "textual",
+        "synonyms": ("version number", "release", "build version", "semver"),
+    },
+    {
+        "name": "language",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("lang", "language code", "locale"),
+    },
+    {
+        "name": "color",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("colour", "color name", "hex color"),
+    },
+    # ----------------------------------------------------------------- generic
+    {
+        "name": "status",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("state status", "order status", "current status", "stage"),
+    },
+    {
+        "name": "description",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("details", "notes", "comment", "remarks", "summary"),
+    },
+    {
+        "name": "rating",
+        "parent": "generic",
+        "kind": "numeric",
+        "synonyms": ("score rating", "stars", "review score", "satisfaction"),
+    },
+    {
+        "name": "score",
+        "parent": "generic",
+        "kind": "numeric",
+        "synonyms": ("points", "test score", "grade points", "result score"),
+    },
+    {
+        "name": "count",
+        "parent": "generic",
+        "kind": "numeric",
+        "synonyms": ("number of", "total count", "frequency", "occurrences", "num"),
+    },
+    {
+        "name": "priority",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("severity", "urgency", "priority level"),
+    },
+    {
+        "name": "boolean_flag",
+        "parent": "generic",
+        "kind": "boolean",
+        "synonyms": ("flag", "is active", "active", "enabled", "true false", "yes no"),
+    },
+    {
+        "name": "grade",
+        "parent": "generic",
+        "kind": "textual",
+        "synonyms": ("letter grade", "quality grade", "tier"),
+    },
+]

@@ -1,0 +1,183 @@
+"""The cascading semantic type detection pipeline (Fig. 4).
+
+SigmaTyper predicts the semantic types of a table's columns with a 3-step
+pipeline — header matching, value lookup, table embedding — executed in order
+of inference cost.  "To minimize overhead, each step in the pipeline is
+executed (potentially for a subset of columns) only if a preset confidence
+threshold c is not met by the prior step."  After the cascade, the per-step
+confidence scores are aggregated (soft majority vote by default) and
+predictions below the precision threshold τ are turned into abstentions.
+
+The pipeline is model-agnostic: any object implementing :class:`PipelineStep`
+can participate, which is how the global/local model combination and the
+baseline ablations reuse the same machinery.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.aggregation import Aggregator
+from repro.core.errors import ConfigurationError, PipelineError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
+from repro.core.table import Table
+
+__all__ = ["PipelineStep", "CascadeConfig", "TypeDetectionPipeline"]
+
+
+class PipelineStep(ABC):
+    """One stage of the cascade.
+
+    Subclasses set :attr:`name` (a stable identifier used in traces, weights,
+    and reports) and :attr:`cost_rank` (steps are executed in ascending cost
+    order) and implement :meth:`predict_columns`.
+    """
+
+    #: Stable identifier of the step ("header_matching", "value_lookup", ...).
+    name: str = "step"
+    #: Execution order: cheaper steps have lower ranks and run first.
+    cost_rank: int = 0
+
+    @abstractmethod
+    def predict_columns(
+        self, table: Table, column_indices: Sequence[int] | None = None
+    ) -> dict[int, list[TypeScore]]:
+        """Return ranked candidates for the addressed columns of *table*.
+
+        Implementations must return an entry for every requested index (an
+        empty list when the step has nothing to say about a column).
+        """
+
+
+@dataclass
+class CascadeConfig:
+    """Behavioural parameters of the cascade."""
+
+    #: Per-step confidence threshold c: a column whose best score from the
+    #: steps run so far reaches c is not passed to more expensive steps.
+    confidence_threshold: float = 0.85
+    #: Precision threshold τ: final predictions below it become abstentions.
+    tau: float = 0.50
+    #: Number of candidates reported per column.
+    top_k: int = 3
+    #: When true, every step runs on every column (ablation / latency study).
+    always_run_all_steps: bool = False
+    #: Aggregation method passed to :class:`~repro.core.aggregation.Aggregator`.
+    aggregation_method: str = "soft_majority"
+
+    def validate(self) -> None:
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence_threshold must be in [0, 1]")
+        if not 0.0 <= self.tau <= 1.0:
+            raise ConfigurationError("tau must be in [0, 1]")
+        if self.top_k < 1:
+            raise ConfigurationError("top_k must be at least 1")
+
+
+class TypeDetectionPipeline:
+    """Runs pipeline steps as a confidence-gated cascade and aggregates them."""
+
+    def __init__(
+        self,
+        steps: Sequence[PipelineStep],
+        config: CascadeConfig | None = None,
+        aggregator: Aggregator | None = None,
+    ) -> None:
+        if not steps:
+            raise PipelineError("a pipeline needs at least one step")
+        names = [step.name for step in steps]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"pipeline steps must have unique names, got {names}")
+        self.config = config or CascadeConfig()
+        self.config.validate()
+        self.steps: list[PipelineStep] = sorted(steps, key=lambda step: step.cost_rank)
+        self.aggregator = aggregator or Aggregator(method=self.config.aggregation_method)
+
+    @property
+    def step_names(self) -> list[str]:
+        """Step identifiers in execution order."""
+        return [step.name for step in self.steps]
+
+    # -------------------------------------------------------------- annotation
+    def annotate(self, table: Table) -> TablePrediction:
+        """Predict the semantic type of every column in *table*."""
+        config = self.config
+        all_indices = list(range(table.num_columns))
+        pending = list(all_indices)
+        step_scores: dict[int, dict[str, list[TypeScore]]] = {index: {} for index in all_indices}
+        best_confidence: dict[int, float] = {index: 0.0 for index in all_indices}
+        winning_step: dict[int, str] = {index: "" for index in all_indices}
+
+        trace: dict[str, int] = {}
+        timings: dict[str, float] = {}
+        for step in self.steps:
+            targets = all_indices if config.always_run_all_steps else pending
+            if not targets:
+                break
+            started = time.perf_counter()
+            results = step.predict_columns(table, targets)
+            timings[step.name] = timings.get(step.name, 0.0) + (time.perf_counter() - started)
+            trace[step.name] = len(targets)
+            for index in targets:
+                scores = results.get(index, [])
+                step_scores[index][step.name] = list(scores)
+                if scores and scores[0].confidence > best_confidence[index]:
+                    best_confidence[index] = scores[0].confidence
+                    winning_step[index] = step.name
+            pending = [
+                index for index in pending
+                if best_confidence[index] < config.confidence_threshold
+            ]
+
+        predictions = []
+        for index in all_indices:
+            predictions.append(
+                self._finalise_column(
+                    table=table,
+                    column_index=index,
+                    per_step=step_scores[index],
+                    winning_step=winning_step[index],
+                )
+            )
+        return TablePrediction(
+            table_name=table.name,
+            columns=predictions,
+            step_trace=trace,
+            step_seconds=timings,
+        )
+
+    def annotate_many(self, tables: Sequence[Table]) -> list[TablePrediction]:
+        """Annotate several tables (a convenience for the evaluation harness)."""
+        return [self.annotate(table) for table in tables]
+
+    # ----------------------------------------------------------------- helpers
+    def _finalise_column(
+        self,
+        table: Table,
+        column_index: int,
+        per_step: dict[str, list[TypeScore]],
+        winning_step: str,
+    ) -> ColumnPrediction:
+        raw_combined = self.aggregator.combine(per_step)
+        # The unknown/background class never becomes a reported candidate,
+        # but when it wins the raw vote that is an explicit OOD signal.
+        unknown_won = bool(raw_combined) and raw_combined[0].type_name == UNKNOWN_TYPE
+        combined = [score for score in raw_combined if score.type_name != UNKNOWN_TYPE]
+        top_scores = combined[: self.config.top_k]
+        abstained = (
+            unknown_won
+            or not top_scores
+            or top_scores[0].confidence < self.config.tau
+        )
+        return ColumnPrediction(
+            column_index=column_index,
+            column_name=table.columns[column_index].name,
+            scores=top_scores,
+            source_step=winning_step or "aggregation",
+            abstained=abstained,
+            step_scores=per_step,
+        )

@@ -1,0 +1,340 @@
+"""SigmaTyper: the end-to-end system facade.
+
+This module assembles the full architecture of Fig. 2: a pretrained **global
+model** (the 3-step cascade of Fig. 4) shared identically across customers,
+plus per-customer **local models** adapted through data programming by
+demonstration (Fig. 3).  The facade exposes the workflow a product would
+build on:
+
+>>> typer = SigmaTyper.pretrained()                  # offline pretraining
+>>> typer.register_customer("acme")
+>>> prediction = typer.annotate(table, customer_id="acme")
+>>> typer.give_feedback("acme", table, "Income", "salary")   # Fig. 3 relabel
+>>> prediction = typer.annotate(table, customer_id="acme")   # now adapted
+
+Predictions below the precision threshold τ become abstentions; τ can be
+calibrated from a validation corpus so a target precision is met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adaptation.customer import CustomerContext
+from repro.adaptation.global_model import GlobalModel, GlobalModelConfig
+from repro.adaptation.local_model import LocalModelConfig
+from repro.core.aggregation import calibrate_tau
+from repro.core.errors import ConfigurationError, PipelineError
+from repro.core.ontology import TypeOntology, UNKNOWN_TYPE
+from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
+from repro.core.table import Table
+from repro.corpus.collection import TableCorpus
+from repro.dpbd.session import AdaptationUpdate
+
+__all__ = ["SigmaTyperConfig", "SigmaTyper"]
+
+
+@dataclass
+class SigmaTyperConfig:
+    """System-level configuration of the SigmaTyper facade."""
+
+    global_model: GlobalModelConfig = field(default_factory=GlobalModelConfig)
+    local_model: LocalModelConfig = field(default_factory=LocalModelConfig)
+    #: Give each customer a private finetunable copy of the learned classifier.
+    #: Off by default because cloning the classifier per customer costs memory;
+    #: the labeling functions alone already adapt predictions.
+    private_classifier_copies: bool = False
+    #: Candidates reported per column in the final prediction.
+    top_k: int = 3
+
+
+class SigmaTyper:
+    """Global + local semantic column type detection with DPBD adaptation."""
+
+    def __init__(
+        self,
+        global_model: GlobalModel,
+        config: SigmaTyperConfig | None = None,
+        source_corpus: TableCorpus | None = None,
+    ) -> None:
+        self.global_model = global_model
+        self.config = config or SigmaTyperConfig()
+        #: The corpus DPBD mines for weak labels (defaults to the pretraining corpus).
+        self.source_corpus = source_corpus or global_model.training_corpus
+        self._customers: dict[str, CustomerContext] = {}
+
+    # ----------------------------------------------------------------- factory
+    @classmethod
+    def pretrained(
+        cls,
+        training_corpus: TableCorpus | None = None,
+        background_corpus: TableCorpus | None = None,
+        ontology: TypeOntology | None = None,
+        config: SigmaTyperConfig | None = None,
+        include_learned_model: bool = True,
+    ) -> "SigmaTyper":
+        """Pretrain the global model and return a ready-to-use system.
+
+        With no arguments this generates the synthetic GitTables-like
+        pretraining corpus and an OOD background corpus, then trains the
+        learned classifier — the offline equivalent of the paper's
+        "pretrained on GitTables" global model.
+        """
+        config = config or SigmaTyperConfig()
+        global_model = GlobalModel.pretrain(
+            training_corpus=training_corpus,
+            background_corpus=background_corpus,
+            ontology=ontology,
+            config=config.global_model,
+            include_learned_model=include_learned_model,
+        )
+        return cls(global_model, config=config)
+
+    # --------------------------------------------------------------- customers
+    @property
+    def customer_ids(self) -> list[str]:
+        """Registered customers, in registration order."""
+        return list(self._customers)
+
+    def register_customer(self, customer_id: str) -> CustomerContext:
+        """Create the local model and DPBD session for a new customer."""
+        if not customer_id:
+            raise ConfigurationError("customer_id must be non-empty")
+        if customer_id in self._customers:
+            raise ConfigurationError(f"customer {customer_id!r} is already registered")
+        classifier = None
+        if self.config.private_classifier_copies and self.global_model.classifier is not None:
+            classifier = self._clone_classifier()
+        context = CustomerContext.create(
+            customer_id,
+            source_corpus=self.source_corpus,
+            local_config=self.config.local_model,
+            classifier=classifier,
+        )
+        self._customers[customer_id] = context
+        return context
+
+    def customer(self, customer_id: str) -> CustomerContext:
+        """Return the context of a registered customer."""
+        try:
+            return self._customers[customer_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown customer {customer_id!r}") from exc
+
+    def _clone_classifier(self):
+        """A private, finetunable copy of the global learned classifier."""
+        from repro.embedding_model.classifier import TableEmbeddingClassifier
+
+        source = self.global_model.classifier
+        assert source is not None
+        clone = TableEmbeddingClassifier(featurizer=source.featurizer, mlp_config=source.mlp_config)
+        clone.vocabulary = source.vocabulary
+        from repro.nn.model import MLPClassifier
+
+        clone.model = MLPClassifier(
+            num_features=source.featurizer.dim,
+            num_classes=max(len(source.vocabulary or []), 2),
+            config=source.mlp_config,
+        )
+        clone.model._feature_mean = source.model._feature_mean  # noqa: SLF001 - deliberate deep copy
+        clone.model._feature_scale = source.model._feature_scale  # noqa: SLF001
+        clone.model.set_weights(source.model.get_weights())
+        return clone
+
+    # --------------------------------------------------------------- inference
+    @property
+    def tau(self) -> float:
+        """The current precision threshold τ."""
+        return self.global_model.pipeline.config.tau
+
+    def set_tau(self, tau: float) -> None:
+        """Override the precision threshold τ."""
+        if not 0.0 <= tau <= 1.0:
+            raise ConfigurationError("tau must be in [0, 1]")
+        self.global_model.pipeline.config.tau = tau
+
+    def annotate(self, table: Table, customer_id: str | None = None) -> TablePrediction:
+        """Predict the semantic types of every column in *table*.
+
+        Without a ``customer_id`` (or for a customer that has given no
+        feedback yet) this is exactly the global cascade.  For an adapted
+        customer, the pipeline is run exhaustively (every step on every
+        column) so the blend has value- and model-based evidence even for
+        columns whose header alone satisfied the cascade — a customer gives
+        feedback precisely because the cheap signals mislead in their context
+        — and every column's global confidences are then combined with the
+        local model's evidence using the per-type weight vectors W_g / W_l.
+        """
+        if customer_id is None:
+            return self.global_model.annotate(table)
+        context = self.customer(customer_id)
+        if not context.local_model.has_adaptations():
+            return self.global_model.annotate(table)
+        global_prediction = self._exhaustive_pipeline().annotate(table)
+        return self._blend_with_local(table, global_prediction, context)
+
+    def _exhaustive_pipeline(self):
+        """The global pipeline with the cascade short-circuit disabled."""
+        from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
+
+        base = self.global_model.pipeline
+        if getattr(self, "_exhaustive", None) is None:
+            config = CascadeConfig(
+                confidence_threshold=base.config.confidence_threshold,
+                tau=base.config.tau,
+                top_k=max(base.config.top_k, 5),
+                always_run_all_steps=True,
+                aggregation_method=base.config.aggregation_method,
+            )
+            self._exhaustive = TypeDetectionPipeline(base.steps, config=config, aggregator=base.aggregator)
+        # Keep τ in sync with the main pipeline (it may have been recalibrated).
+        self._exhaustive.config.tau = base.config.tau
+        return self._exhaustive
+
+    def _blend_with_local(
+        self,
+        table: Table,
+        global_prediction: TablePrediction,
+        context: CustomerContext,
+    ) -> TablePrediction:
+        tau = self.tau
+        local_model = context.local_model
+        blended_columns: list[ColumnPrediction] = []
+        for prediction in global_prediction.columns:
+            column = table.columns[prediction.column_index]
+            global_scores = {score.type_name: score.confidence for score in prediction.scores}
+            combined = local_model.combine_with_global(global_scores, column, table)
+            combined.pop(UNKNOWN_TYPE, None)
+            ranked = [
+                TypeScore(confidence=confidence, type_name=type_name)
+                for type_name, confidence in combined.items()
+            ]
+            ranked.sort(key=lambda score: (-score.confidence, score.type_name))
+            top = ranked[: self.config.top_k]
+            abstained = not top or top[0].confidence < tau
+            blended_columns.append(
+                ColumnPrediction(
+                    column_index=prediction.column_index,
+                    column_name=prediction.column_name,
+                    scores=top,
+                    source_step="global+local" if local_model.has_adaptations() else prediction.source_step,
+                    abstained=abstained,
+                    step_scores=prediction.step_scores,
+                )
+            )
+        return TablePrediction(
+            table_name=global_prediction.table_name,
+            columns=blended_columns,
+            step_trace=dict(global_prediction.step_trace),
+            step_seconds=dict(global_prediction.step_seconds),
+        )
+
+    # ---------------------------------------------------------------- feedback
+    def give_feedback(
+        self,
+        customer_id: str,
+        table: Table,
+        column_name: str,
+        corrected_type: str,
+        previous_type: str | None = None,
+    ) -> AdaptationUpdate:
+        """Apply an explicit relabel (Fig. 3 ①–④) for one customer."""
+        context = self.customer(customer_id)
+        update = context.dpbd.relabel(
+            table, column_name, corrected_type, previous_type=previous_type
+        )
+        context.apply(update)
+        return update
+
+    def approve_prediction(
+        self,
+        customer_id: str,
+        table: Table,
+        column_name: str,
+        approved_type: str,
+        implicit: bool = True,
+    ) -> AdaptationUpdate:
+        """Record that the user kept (or confirmed) a predicted type."""
+        context = self.customer(customer_id)
+        update = context.dpbd.approve(table, column_name, approved_type, implicit=implicit)
+        context.apply(update)
+        return update
+
+    def accept_table(
+        self,
+        customer_id: str,
+        table: Table,
+        prediction: TablePrediction,
+        exclude_columns: tuple[str, ...] = (),
+    ) -> list[AdaptationUpdate]:
+        """Treat every non-abstained prediction of a table as implicitly approved.
+
+        This mirrors the paper's flow where "the entire table with its labels
+        is then added to the training data" when the user proceeds with their
+        analysis without correcting anything further.
+        """
+        updates = []
+        for column_prediction in prediction.columns:
+            if column_prediction.abstained:
+                continue
+            if column_prediction.column_name in exclude_columns:
+                continue
+            updates.append(
+                self.approve_prediction(
+                    customer_id,
+                    table,
+                    column_prediction.column_name,
+                    column_prediction.predicted_type,
+                    implicit=True,
+                )
+            )
+        return updates
+
+    # -------------------------------------------------------------- calibration
+    def calibrate_tau(
+        self,
+        validation_corpus: TableCorpus,
+        target_precision: float = 0.95,
+        customer_id: str | None = None,
+    ) -> float:
+        """Pick τ from a labeled validation corpus so precision reaches the target.
+
+        Returns the calibrated τ (and installs it on the pipeline).
+        """
+        scored: list[tuple[float, bool]] = []
+        original_tau = self.tau
+        # Collect raw confidences with thresholding disabled.
+        self.set_tau(0.0)
+        try:
+            for table in validation_corpus:
+                prediction = self.annotate(table, customer_id=customer_id)
+                for column, column_prediction in zip(table.columns, prediction.columns):
+                    if column.semantic_type is None or not column_prediction.scores:
+                        continue
+                    scored.append(
+                        (
+                            column_prediction.confidence,
+                            column_prediction.predicted_type == column.semantic_type,
+                        )
+                    )
+        finally:
+            self.set_tau(original_tau)
+        if not scored:
+            raise PipelineError("calibration corpus produced no scored predictions")
+        tau = calibrate_tau(scored, target_precision=target_precision)
+        self.set_tau(tau)
+        return tau
+
+    # ------------------------------------------------------------------ report
+    def summary(self) -> dict[str, object]:
+        """System-level report (pipeline steps, τ, customers, adaptations)."""
+        return {
+            "pipeline_steps": self.global_model.pipeline.step_names,
+            "tau": self.tau,
+            "confidence_threshold": self.global_model.pipeline.config.confidence_threshold,
+            "ontology_types": len(self.global_model.ontology),
+            "customers": {
+                customer_id: context.summary()
+                for customer_id, context in self._customers.items()
+            },
+        }

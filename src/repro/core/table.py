@@ -1,0 +1,410 @@
+"""Relational table substrate used throughout SigmaTyper.
+
+The paper operates on enterprise tables exported from databases and data
+warehouses.  This module provides the in-memory representation of those
+tables: :class:`Column` (a header plus a sequence of raw cell values and an
+optional ground-truth semantic annotation) and :class:`Table` (an ordered
+collection of columns with rectangular shape).
+
+Values are stored as raw strings (or ``None``), exactly as they appear in a
+CSV export — type interpretation is performed lazily by
+:mod:`repro.core.datatypes` and cached on the column.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.datatypes import DataType, coerce_numeric, infer_column_type, is_null
+from repro.core.errors import ColumnNotFoundError, TableError
+
+__all__ = ["Column", "Table"]
+
+
+@dataclass
+class Column:
+    """A single table column: header, raw values, and optional annotation.
+
+    Parameters
+    ----------
+    name:
+        The column header as it appears in the source table.  May be empty
+        (headerless exports are common in practice).
+    values:
+        Raw cell values.  ``None`` and recognised null tokens (``"N/A"``,
+        ``""``, ...) are treated as missing.
+    semantic_type:
+        Optional *ground-truth* semantic type used by the corpus generators,
+        the evaluation harness, and tests.  Production inputs leave it
+        ``None``; predictions never read it.
+    metadata:
+        Free-form provenance information (source table, generator parameters,
+        customer id, ...).
+    """
+
+    name: str
+    values: list[object]
+    semantic_type: str | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+    _data_type: DataType | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.values = list(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    @property
+    def data_type(self) -> DataType:
+        """Structural type of the column, inferred once and cached."""
+        if self._data_type is None:
+            self._data_type = infer_column_type(self.values)
+        return self._data_type
+
+    def invalidate_cache(self) -> None:
+        """Drop cached derived state after the values were mutated."""
+        self._data_type = None
+
+    def non_null_values(self) -> list[object]:
+        """Values that are not recognised as missing."""
+        return [value for value in self.values if not is_null(value)]
+
+    def null_fraction(self) -> float:
+        """Fraction of cells that are missing; 0.0 for an empty column."""
+        if not self.values:
+            return 0.0
+        nulls = sum(1 for value in self.values if is_null(value))
+        return nulls / len(self.values)
+
+    def text_values(self) -> list[str]:
+        """Non-null values rendered as stripped strings."""
+        return [str(value).strip() for value in self.non_null_values()]
+
+    def numeric_values(self) -> list[float]:
+        """Non-null values parsed as numbers (non-numeric cells dropped)."""
+        return coerce_numeric(self.non_null_values())
+
+    def unique_values(self) -> list[str]:
+        """Distinct non-null string values, in first-seen order."""
+        seen: dict[str, None] = {}
+        for value in self.text_values():
+            seen.setdefault(value, None)
+        return list(seen)
+
+    def unique_fraction(self) -> float:
+        """Ratio of distinct values to non-null values (0.0 when empty)."""
+        non_null = self.text_values()
+        if not non_null:
+            return 0.0
+        return len(set(non_null)) / len(non_null)
+
+    def value_counts(self) -> dict[str, int]:
+        """Occurrence counts of the non-null string values."""
+        counts: dict[str, int] = {}
+        for value in self.text_values():
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def most_frequent_values(self, k: int = 5) -> list[str]:
+        """The *k* most frequent values, ties broken by first appearance."""
+        counts = self.value_counts()
+        order = {value: index for index, value in enumerate(counts)}
+        ranked = sorted(counts, key=lambda v: (-counts[v], order[v]))
+        return ranked[:k]
+
+    def sample(self, k: int, seed: int | None = None) -> list[object]:
+        """A reproducible sample of at most *k* non-null values."""
+        non_null = self.non_null_values()
+        if len(non_null) <= k:
+            return list(non_null)
+        rng = random.Random(seed)
+        return rng.sample(non_null, k)
+
+    def head(self, n: int = 5) -> list[object]:
+        """The first *n* raw values."""
+        return self.values[:n]
+
+    def rename(self, new_name: str) -> "Column":
+        """Return a copy of this column with a different header."""
+        return Column(
+            name=new_name,
+            values=list(self.values),
+            semantic_type=self.semantic_type,
+            metadata=dict(self.metadata),
+        )
+
+    def with_values(self, values: Sequence[object]) -> "Column":
+        """Return a copy of this column with replaced values."""
+        return Column(
+            name=self.name,
+            values=list(values),
+            semantic_type=self.semantic_type,
+            metadata=dict(self.metadata),
+        )
+
+    def copy(self) -> "Column":
+        """Deep-enough copy (values list and metadata dict are duplicated)."""
+        return Column(
+            name=self.name,
+            values=list(self.values),
+            semantic_type=self.semantic_type,
+            metadata=dict(self.metadata),
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "values": list(self.values),
+            "semantic_type": self.semantic_type,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Column":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload.get("name", "")),
+            values=list(payload.get("values", [])),  # type: ignore[arg-type]
+            semantic_type=payload.get("semantic_type"),  # type: ignore[arg-type]
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+
+class Table:
+    """An ordered, rectangular collection of named columns.
+
+    Tables are the unit of work for the whole system: the corpus generators
+    emit them, the pipeline annotates them, and the DPBD subsystem derives
+    labeling functions from them.
+    """
+
+    def __init__(
+        self,
+        columns: Sequence[Column],
+        name: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ) -> None:
+        columns = list(columns)
+        if columns:
+            lengths = {len(column) for column in columns}
+            if len(lengths) > 1:
+                raise TableError(
+                    f"table {name!r} has ragged columns with lengths {sorted(lengths)}"
+                )
+        self.name = name
+        self.columns: list[Column] = columns
+        self.metadata: dict[str, object] = dict(metadata or {})
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def num_rows(self) -> int:
+        """Number of rows (0 for a table with no columns)."""
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(num_rows, num_columns)``."""
+        return (self.num_rows, self.num_columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        """Headers in column order."""
+        return [column.name for column in self.columns]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, column_name: str) -> bool:
+        return any(column.name == column_name for column in self.columns)
+
+    def __repr__(self) -> str:
+        return f"Table(name={self.name!r}, shape={self.shape})"
+
+    # ----------------------------------------------------------------- access
+    def column(self, key: int | str) -> Column:
+        """Return a column by positional index or by header name."""
+        if isinstance(key, int):
+            try:
+                return self.columns[key]
+            except IndexError as exc:
+                raise ColumnNotFoundError(str(key), self.column_names) from exc
+        for column in self.columns:
+            if column.name == key:
+                return column
+        raise ColumnNotFoundError(key, self.column_names)
+
+    def __getitem__(self, key: int | str) -> Column:
+        return self.column(key)
+
+    def column_index(self, column_name: str) -> int:
+        """Positional index of the column with header *column_name*."""
+        for index, column in enumerate(self.columns):
+            if column.name == column_name:
+                return index
+        raise ColumnNotFoundError(column_name, self.column_names)
+
+    def row(self, index: int) -> list[object]:
+        """The values of row *index* across all columns."""
+        if not 0 <= index < self.num_rows:
+            raise TableError(f"row index {index} out of range for {self.num_rows} rows")
+        return [column.values[index] for column in self.columns]
+
+    def rows(self) -> Iterator[list[object]]:
+        """Iterate over rows as lists of cell values."""
+        for index in range(self.num_rows):
+            yield self.row(index)
+
+    def semantic_types(self) -> list[str | None]:
+        """Ground-truth annotations per column (``None`` when unlabelled)."""
+        return [column.semantic_type for column in self.columns]
+
+    # ------------------------------------------------------------- mutation-ish
+    def add_column(self, column: Column) -> None:
+        """Append a column, enforcing the rectangular-shape invariant."""
+        if self.columns and len(column) != self.num_rows:
+            raise TableError(
+                f"cannot add column {column.name!r} with {len(column)} values "
+                f"to a table with {self.num_rows} rows"
+            )
+        self.columns.append(column)
+
+    def drop_column(self, key: int | str) -> "Table":
+        """Return a new table without the addressed column."""
+        target = self.column(key)
+        remaining = [c for c in self.columns if c is not target]
+        return Table([c.copy() for c in remaining], name=self.name, metadata=self.metadata)
+
+    def select_columns(self, keys: Iterable[int | str]) -> "Table":
+        """Return a new table restricted to the addressed columns (in order)."""
+        selected = [self.column(key).copy() for key in keys]
+        return Table(selected, name=self.name, metadata=self.metadata)
+
+    def head(self, n: int = 5) -> "Table":
+        """Return a new table with only the first *n* rows."""
+        clipped = [column.with_values(column.values[:n]) for column in self.columns]
+        return Table(clipped, name=self.name, metadata=self.metadata)
+
+    def sample_rows(self, k: int, seed: int | None = None) -> "Table":
+        """Return a new table with a reproducible sample of at most *k* rows."""
+        if self.num_rows <= k:
+            return self.copy()
+        rng = random.Random(seed)
+        indices = sorted(rng.sample(range(self.num_rows), k))
+        sampled = [
+            column.with_values([column.values[i] for i in indices])
+            for column in self.columns
+        ]
+        return Table(sampled, name=self.name, metadata=self.metadata)
+
+    def map_columns(self, transform: Callable[[Column], Column]) -> "Table":
+        """Return a new table with *transform* applied to every column."""
+        return Table(
+            [transform(column) for column in self.columns],
+            name=self.name,
+            metadata=self.metadata,
+        )
+
+    def copy(self) -> "Table":
+        """Deep-enough copy of the table."""
+        return Table(
+            [column.copy() for column in self.columns],
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_rows(
+        cls,
+        header: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        name: str = "",
+        semantic_types: Sequence[str | None] | None = None,
+    ) -> "Table":
+        """Build a table from a header and an iterable of row tuples."""
+        header = list(header)
+        materialised = [list(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(header):
+                raise TableError(
+                    f"row with {len(row)} cells does not match header of {len(header)}"
+                )
+        columns = []
+        for index, column_name in enumerate(header):
+            values = [row[index] for row in materialised]
+            annotation = None
+            if semantic_types is not None and index < len(semantic_types):
+                annotation = semantic_types[index]
+            columns.append(Column(column_name, values, semantic_type=annotation))
+        return cls(columns, name=name)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Table":
+        """Inverse of :meth:`to_dict`."""
+        columns = [Column.from_dict(c) for c in payload.get("columns", [])]  # type: ignore[union-attr]
+        return cls(
+            columns,
+            name=str(payload.get("name", "")),
+            metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_columns_dict(
+        cls,
+        data: Mapping[str, Sequence[object]],
+        name: str = "",
+        semantic_types: Mapping[str, str] | None = None,
+    ) -> "Table":
+        """Build a table from ``{header: values}`` (insertion order preserved)."""
+        semantic_types = dict(semantic_types or {})
+        columns = [
+            Column(header, list(values), semantic_type=semantic_types.get(header))
+            for header, values in data.items()
+        ]
+        return cls(columns, name=name)
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "metadata": dict(self.metadata),
+            "columns": [column.to_dict() for column in self.columns],
+        }
+
+    def to_rows(self) -> tuple[list[str], list[list[object]]]:
+        """Return ``(header, rows)`` suitable for CSV writing."""
+        return self.column_names, [self.row(i) for i in range(self.num_rows)]
+
+    def preview(self, n: int = 5) -> str:
+        """A small fixed-width textual rendering for logs and examples."""
+        header = self.column_names
+        rows = [self.row(i) for i in range(min(n, self.num_rows))]
+        rendered_rows = [[("" if is_null(cell) else str(cell)) for cell in row] for row in rows]
+        widths = [
+            max(len(str(header[i])), *(len(row[i]) for row in rendered_rows), 1)
+            if rendered_rows
+            else max(len(str(header[i])), 1)
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(str(h).ljust(w) for h, w in zip(header, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rendered_rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Synthetic table corpora: GitTables-like, WebTables-like, and shift scenarios.
+
+This subpackage substitutes for the external data resources the paper trains
+and evaluates on (GitTables, WebTables, the DBpedia knowledge base) with
+offline generators that preserve the statistical contrasts the paper relies
+on.  See DESIGN.md ("Substitutions") for the full rationale.
+"""
+
+from repro.corpus.collection import LabeledColumn, TableCorpus
+from repro.corpus.generators import (
+    OOD_PROFILES,
+    TYPE_PROFILES,
+    TypeProfile,
+    generatable_types,
+    generate_values,
+    ood_types,
+    profile_for,
+)
+from repro.corpus.gittables import GITTABLES_THEMES, DomainTheme, GitTablesConfig, GitTablesGenerator
+from repro.corpus.shift import (
+    DEFAULT_LABEL_SHIFTS,
+    LabelShiftSpec,
+    ShiftScenario,
+    build_covariate_shift_corpus,
+    build_label_shift_corpus,
+    build_ood_corpus,
+    build_scenario,
+)
+from repro.corpus.webtables import WEBTABLES_TOPICS, WebTablesConfig, WebTablesGenerator, WebTableTopic
+
+__all__ = [
+    "LabeledColumn",
+    "TableCorpus",
+    "TypeProfile",
+    "TYPE_PROFILES",
+    "OOD_PROFILES",
+    "generate_values",
+    "generatable_types",
+    "ood_types",
+    "profile_for",
+    "DomainTheme",
+    "GITTABLES_THEMES",
+    "GitTablesConfig",
+    "GitTablesGenerator",
+    "WebTableTopic",
+    "WEBTABLES_TOPICS",
+    "WebTablesConfig",
+    "WebTablesGenerator",
+    "ShiftScenario",
+    "LabelShiftSpec",
+    "DEFAULT_LABEL_SHIFTS",
+    "build_covariate_shift_corpus",
+    "build_label_shift_corpus",
+    "build_ood_corpus",
+    "build_scenario",
+]

@@ -1,0 +1,188 @@
+"""Table corpus container.
+
+A :class:`TableCorpus` is an ordered collection of annotated tables, the unit
+used for training, evaluation, and weak-label extraction.  It deliberately
+stays a thin wrapper: every method returns plain tables/columns so the rest of
+the system never depends on corpus internals.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.errors import CorpusError
+from repro.core.table import Column, Table
+
+__all__ = ["LabeledColumn", "TableCorpus"]
+
+
+@dataclass(frozen=True)
+class LabeledColumn:
+    """A column together with its provenance inside a corpus."""
+
+    table_index: int
+    column_index: int
+    table: Table
+    column: Column
+
+    @property
+    def label(self) -> str | None:
+        """Ground-truth semantic type (``None`` for unlabeled columns)."""
+        return self.column.semantic_type
+
+    @property
+    def neighbor_types(self) -> list[str | None]:
+        """Ground-truth types of the other columns in the same table."""
+        return [
+            other.semantic_type
+            for index, other in enumerate(self.table.columns)
+            if index != self.column_index
+        ]
+
+
+class TableCorpus:
+    """An ordered collection of tables with helpers for ML workflows."""
+
+    def __init__(self, tables: Iterable[Table] = (), name: str = "") -> None:
+        self.tables: list[Table] = list(tables)
+        self.name = name
+
+    # ------------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self.tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self.tables)
+
+    def __getitem__(self, index: int) -> Table:
+        return self.tables[index]
+
+    def __repr__(self) -> str:
+        return f"TableCorpus(name={self.name!r}, tables={len(self.tables)}, columns={self.num_columns})"
+
+    def add(self, table: Table) -> None:
+        """Append a table to the corpus."""
+        self.tables.append(table)
+
+    def extend(self, tables: Iterable[Table]) -> None:
+        """Append several tables."""
+        self.tables.extend(tables)
+
+    def merge(self, other: "TableCorpus", name: str = "") -> "TableCorpus":
+        """A new corpus with this corpus's tables followed by *other*'s."""
+        return TableCorpus(self.tables + other.tables, name=name or self.name)
+
+    @property
+    def num_columns(self) -> int:
+        """Total number of columns across all tables."""
+        return sum(table.num_columns for table in self.tables)
+
+    @property
+    def num_rows(self) -> int:
+        """Total number of rows across all tables."""
+        return sum(table.num_rows for table in self.tables)
+
+    # ----------------------------------------------------------------- columns
+    def columns(self) -> Iterator[LabeledColumn]:
+        """Iterate over every column with its provenance."""
+        for table_index, table in enumerate(self.tables):
+            for column_index, column in enumerate(table.columns):
+                yield LabeledColumn(table_index, column_index, table, column)
+
+    def labeled_columns(self) -> list[LabeledColumn]:
+        """Columns that carry a ground-truth semantic type."""
+        return [entry for entry in self.columns() if entry.label is not None]
+
+    def columns_of_type(self, semantic_type: str) -> list[LabeledColumn]:
+        """Columns annotated with *semantic_type*."""
+        return [entry for entry in self.columns() if entry.label == semantic_type]
+
+    def label_distribution(self) -> dict[str, int]:
+        """Number of labeled columns per semantic type."""
+        counts: dict[str, int] = {}
+        for entry in self.labeled_columns():
+            counts[entry.label] = counts.get(entry.label, 0) + 1  # type: ignore[index]
+        return counts
+
+    def semantic_types(self) -> list[str]:
+        """Distinct semantic types present, sorted alphabetically."""
+        return sorted(self.label_distribution())
+
+    # ------------------------------------------------------------------ slicing
+    def filter_tables(self, predicate: Callable[[Table], bool]) -> "TableCorpus":
+        """A new corpus with only the tables satisfying *predicate*."""
+        return TableCorpus([t for t in self.tables if predicate(t)], name=self.name)
+
+    def restrict_types(self, types: Sequence[str]) -> "TableCorpus":
+        """A new corpus where labels outside *types* are cleared to ``None``.
+
+        The columns themselves are kept (the table shape is untouched); only
+        their annotations are dropped, which mirrors how a deployment would
+        treat columns whose type is outside the supported ontology.
+        """
+        keep = set(types)
+
+        def scrub(table: Table) -> Table:
+            return table.map_columns(
+                lambda column: Column(
+                    name=column.name,
+                    values=list(column.values),
+                    semantic_type=column.semantic_type if column.semantic_type in keep else None,
+                    metadata=dict(column.metadata),
+                )
+            )
+
+        return TableCorpus([scrub(t) for t in self.tables], name=self.name)
+
+    def sample_tables(self, k: int, seed: int | None = None) -> "TableCorpus":
+        """A new corpus with a reproducible sample of at most *k* tables."""
+        if k >= len(self.tables):
+            return TableCorpus(list(self.tables), name=self.name)
+        rng = random.Random(seed)
+        return TableCorpus(rng.sample(self.tables, k), name=self.name)
+
+    def split(
+        self, train_fraction: float = 0.8, seed: int | None = None
+    ) -> tuple["TableCorpus", "TableCorpus"]:
+        """Split into train/test corpora at the *table* level.
+
+        Splitting by table (not by column) prevents leakage of table context
+        between the two sides, matching how the paper's systems are evaluated.
+        """
+        if not 0.0 < train_fraction < 1.0:
+            raise CorpusError("train_fraction must be strictly between 0 and 1")
+        indices = list(range(len(self.tables)))
+        random.Random(seed).shuffle(indices)
+        cut = int(round(train_fraction * len(indices)))
+        cut = min(max(cut, 1), len(indices) - 1) if len(indices) > 1 else cut
+        train = TableCorpus([self.tables[i] for i in indices[:cut]], name=f"{self.name}-train")
+        test = TableCorpus([self.tables[i] for i in indices[cut:]], name=f"{self.name}-test")
+        return train, test
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return {"name": self.name, "tables": [table.to_dict() for table in self.tables]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "TableCorpus":
+        """Inverse of :meth:`to_dict`."""
+        tables = [Table.from_dict(entry) for entry in payload.get("tables", [])]  # type: ignore[union-attr]
+        return cls(tables, name=str(payload.get("name", "")))
+
+    def summary(self) -> dict[str, object]:
+        """Aggregate statistics used by examples and reports."""
+        distribution = self.label_distribution()
+        column_counts = [table.num_columns for table in self.tables]
+        row_counts = [table.num_rows for table in self.tables]
+        return {
+            "name": self.name,
+            "tables": len(self.tables),
+            "columns": self.num_columns,
+            "labeled_columns": sum(distribution.values()),
+            "distinct_types": len(distribution),
+            "avg_columns_per_table": (sum(column_counts) / len(column_counts)) if column_counts else 0.0,
+            "avg_rows_per_table": (sum(row_counts) / len(row_counts)) if row_counts else 0.0,
+        }

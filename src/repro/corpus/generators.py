@@ -1,0 +1,1018 @@
+"""Per-semantic-type value generators and header vocabularies.
+
+This module is the single source of truth connecting the ontology to data:
+for every leaf semantic type it defines a :class:`TypeProfile` with
+
+* ``generate`` — a function producing realistic raw cell strings for that
+  type, parameterised by a :class:`random.Random` instance and a *style*
+  (``"default"`` or ``"shifted"``; the shifted style renders the same
+  underlying quantity with different formatting, which is exactly the
+  covariate shift of Fig. 1a),
+* ``headers`` / ``dirty_headers`` / ``verbose_headers`` — the clean database
+  headers, the abbreviated/cryptic headers typical of enterprise exports
+  (GitTables-like), and the verbose natural-language headers typical of web
+  tables, and
+* ``kb_values`` — a closed vocabulary for the type when one exists, used to
+  build the offline knowledge base that substitutes for DBpedia lookups.
+
+The :data:`OOD_PROFILES` registry defines additional generators for types
+that are deliberately *absent* from the default ontology; they exercise the
+out-of-distribution path (Fig. 1c).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.core.errors import CorpusError
+from repro.corpus import vocab
+
+__all__ = [
+    "TypeProfile",
+    "TYPE_PROFILES",
+    "OOD_PROFILES",
+    "profile_for",
+    "generate_values",
+    "generatable_types",
+    "ood_types",
+]
+
+GeneratorFn = Callable[[random.Random, int, str], list[str]]
+
+
+@dataclass(frozen=True)
+class TypeProfile:
+    """Everything the corpus generators know about one semantic type."""
+
+    type_name: str
+    generate: GeneratorFn
+    headers: tuple[str, ...]
+    dirty_headers: tuple[str, ...] = ()
+    verbose_headers: tuple[str, ...] = ()
+    kb_values: tuple[str, ...] = ()
+    numeric: bool = False
+
+    def header_pool(self, style: str) -> tuple[str, ...]:
+        """Candidate headers for the requested corpus style."""
+        if style == "dirty" and self.dirty_headers:
+            return self.dirty_headers
+        if style == "verbose" and self.verbose_headers:
+            return self.verbose_headers
+        return self.headers
+
+
+# --------------------------------------------------------------------------- helpers
+def _choices(rng: random.Random, pool: Iterable[str], n: int) -> list[str]:
+    pool = list(pool)
+    return [rng.choice(pool) for _ in range(n)]
+
+
+def _numbers(
+    rng: random.Random,
+    n: int,
+    low: float,
+    high: float,
+    decimals: int = 0,
+    prefix: str = "",
+    suffix: str = "",
+    thousands: bool = False,
+) -> list[str]:
+    values = []
+    for _ in range(n):
+        number = rng.uniform(low, high)
+        if decimals == 0:
+            rendered = f"{int(round(number)):,}" if thousands else str(int(round(number)))
+        else:
+            rendered = f"{number:,.{decimals}f}" if thousands else f"{number:.{decimals}f}"
+        values.append(f"{prefix}{rendered}{suffix}")
+    return values
+
+
+def _date(rng: random.Random, iso: bool = True, year_range: tuple[int, int] = (2015, 2024)) -> str:
+    year = rng.randint(*year_range)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    if iso:
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    return f"{month}/{day}/{year}"
+
+
+def _full_name(rng: random.Random) -> str:
+    return f"{rng.choice(vocab.FIRST_NAMES)} {rng.choice(vocab.LAST_NAMES)}"
+
+
+# --------------------------------------------------------------------------- person
+def _gen_name(rng, n, style):
+    if style == "shifted":
+        # "Last, First" rendering — same entity, different formatting.
+        return [f"{rng.choice(vocab.LAST_NAMES)}, {rng.choice(vocab.FIRST_NAMES)}" for _ in range(n)]
+    return [_full_name(rng) for _ in range(n)]
+
+
+def _gen_first_name(rng, n, style):
+    return _choices(rng, vocab.FIRST_NAMES, n)
+
+
+def _gen_last_name(rng, n, style):
+    return _choices(rng, vocab.LAST_NAMES, n)
+
+
+def _gen_email(rng, n, style):
+    values = []
+    for _ in range(n):
+        first = rng.choice(vocab.FIRST_NAMES).lower()
+        last = rng.choice(vocab.LAST_NAMES).lower()
+        domain = rng.choice(vocab.EMAIL_DOMAINS)
+        separator = rng.choice([".", "_", ""])
+        if style == "shifted":
+            values.append(f"{first[0]}{last}{rng.randint(1, 99)}@{domain}")
+        else:
+            values.append(f"{first}{separator}{last}@{domain}")
+    return values
+
+
+def _gen_phone(rng, n, style):
+    values = []
+    for _ in range(n):
+        area, mid, tail = rng.randint(200, 989), rng.randint(100, 999), rng.randint(1000, 9999)
+        if style == "shifted":
+            values.append(f"+{rng.randint(1, 49)} {rng.randint(10, 99)} {rng.randint(1000000, 9999999)}")
+        else:
+            values.append(rng.choice([f"({area}) {mid}-{tail}", f"{area}-{mid}-{tail}", f"{area}.{mid}.{tail}"]))
+    return values
+
+
+def _gen_age(rng, n, style):
+    if style == "shifted":
+        return _numbers(rng, n, 1, 17)
+    return _numbers(rng, n, 18, 90)
+
+
+def _gen_gender(rng, n, style):
+    pool = ["M", "F"] if style == "shifted" else vocab.GENDERS
+    return _choices(rng, pool, n)
+
+
+def _gen_birth_date(rng, n, style):
+    return [_date(rng, iso=(style != "shifted"), year_range=(1950, 2005)) for _ in range(n)]
+
+
+def _gen_nationality(rng, n, style):
+    return _choices(rng, vocab.NATIONALITIES, n)
+
+
+def _gen_job_title(rng, n, style):
+    return _choices(rng, vocab.JOB_TITLES, n)
+
+
+def _gen_username(rng, n, style):
+    values = []
+    for _ in range(n):
+        first = rng.choice(vocab.FIRST_NAMES).lower()
+        last = rng.choice(vocab.LAST_NAMES).lower()
+        values.append(rng.choice([f"{first}.{last}", f"{first[0]}{last}", f"{first}{rng.randint(1, 999)}"]))
+    return values
+
+
+def _gen_ssn(rng, n, style):
+    return [f"{rng.randint(100, 899):03d}-{rng.randint(10, 99):02d}-{rng.randint(1000, 9999):04d}" for _ in range(n)]
+
+
+def _gen_marital_status(rng, n, style):
+    return _choices(rng, vocab.MARITAL_STATUSES, n)
+
+
+# --------------------------------------------------------------------- organization
+def _gen_company(rng, n, style):
+    values = []
+    for _ in range(n):
+        base = rng.choice(vocab.COMPANIES)
+        if style == "shifted" or rng.random() < 0.3:
+            values.append(f"{base} {rng.choice(vocab.COMPANY_SUFFIXES)}")
+        else:
+            values.append(base)
+    return values
+
+
+def _gen_department(rng, n, style):
+    return _choices(rng, vocab.DEPARTMENTS, n)
+
+
+def _gen_industry(rng, n, style):
+    return _choices(rng, vocab.INDUSTRIES, n)
+
+
+def _gen_salary(rng, n, style):
+    if style == "shifted":
+        return [f"$ {rng.randint(30, 250)}K" for _ in range(n)]
+    return _numbers(rng, n, 30_000, 250_000, thousands=rng.random() < 0.5)
+
+
+def _gen_revenue(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.uniform(0.1, 900):.1f}M" for _ in range(n)]
+    return _numbers(rng, n, 100_000, 900_000_000, thousands=True)
+
+
+def _gen_employee_count(rng, n, style):
+    return _numbers(rng, n, 1, 50_000)
+
+
+def _gen_website(rng, n, style):
+    values = []
+    for _ in range(n):
+        word = rng.choice(vocab.DOMAIN_WORDS) + rng.choice(vocab.DOMAIN_WORDS)
+        tld = rng.choice(vocab.TOP_LEVEL_DOMAINS)
+        prefix = "www." if rng.random() < 0.5 else ""
+        values.append(f"https://{prefix}{word}.{tld}")
+    return values
+
+
+# -------------------------------------------------------------------------- place
+def _gen_country(rng, n, style):
+    if style == "shifted":
+        return _choices(rng, vocab.COUNTRY_CODES_3, n)
+    return _choices(rng, vocab.COUNTRY_NAMES, n)
+
+
+def _gen_country_code(rng, n, style):
+    pool = vocab.COUNTRY_CODES_3 if style == "shifted" else vocab.COUNTRY_CODES_2
+    return _choices(rng, pool, n)
+
+
+def _gen_city(rng, n, style):
+    return _choices(rng, vocab.CITIES, n)
+
+
+def _gen_state(rng, n, style):
+    pool = vocab.STATE_CODES if style == "shifted" else vocab.STATE_NAMES
+    return _choices(rng, pool, n)
+
+
+def _gen_address(rng, n, style):
+    values = []
+    for _ in range(n):
+        number = rng.randint(1, 9999)
+        street = rng.choice(vocab.STREET_NAMES)
+        if style == "shifted":
+            values.append(f"{street} {number}, {rng.choice(vocab.CITIES)}")
+        else:
+            values.append(f"{number} {street}")
+    return values
+
+
+def _gen_zip_code(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.randint(1000, 9999)} {rng.choice(string.ascii_uppercase)}{rng.choice(string.ascii_uppercase)}" for _ in range(n)]
+    return [f"{rng.randint(501, 99950):05d}" for _ in range(n)]
+
+
+def _gen_latitude(rng, n, style):
+    return _numbers(rng, n, -90, 90, decimals=rng.choice([4, 5, 6]))
+
+
+def _gen_longitude(rng, n, style):
+    return _numbers(rng, n, -180, 180, decimals=rng.choice([4, 5, 6]))
+
+
+def _gen_continent(rng, n, style):
+    return _choices(rng, vocab.CONTINENTS, n)
+
+
+def _gen_region(rng, n, style):
+    return _choices(rng, vocab.REGIONS, n)
+
+
+# ------------------------------------------------------------------------ temporal
+def _gen_date(rng, n, style):
+    return [_date(rng, iso=(style != "shifted")) for _ in range(n)]
+
+
+def _gen_timestamp(rng, n, style):
+    values = []
+    for _ in range(n):
+        date = _date(rng)
+        hour, minute, second = rng.randint(0, 23), rng.randint(0, 59), rng.randint(0, 59)
+        if style == "shifted":
+            values.append(f"{date} {hour:02d}:{minute:02d}")
+        else:
+            values.append(f"{date}T{hour:02d}:{minute:02d}:{second:02d}Z")
+    return values
+
+
+def _gen_year(rng, n, style):
+    low, high = (1950, 1999) if style == "shifted" else (1990, 2025)
+    return [str(rng.randint(low, high)) for _ in range(n)]
+
+
+def _gen_month(rng, n, style):
+    pool = vocab.MONTH_ABBREVIATIONS if style == "shifted" else vocab.MONTH_NAMES
+    return _choices(rng, pool, n)
+
+
+def _gen_day_of_week(rng, n, style):
+    pool = vocab.WEEKDAY_ABBREVIATIONS if style == "shifted" else vocab.WEEKDAYS
+    return _choices(rng, pool, n)
+
+
+def _gen_time(rng, n, style):
+    values = []
+    for _ in range(n):
+        hour, minute = rng.randint(0, 23), rng.randint(0, 59)
+        if style == "shifted":
+            suffix = "AM" if hour < 12 else "PM"
+            values.append(f"{(hour % 12) or 12}:{minute:02d} {suffix}")
+        else:
+            values.append(f"{hour:02d}:{minute:02d}")
+    return values
+
+
+def _gen_duration(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.randint(1, 48)}h {rng.randint(0, 59)}m" for _ in range(n)]
+    return _numbers(rng, n, 1, 600)
+
+
+def _gen_quarter(rng, n, style):
+    return _choices(rng, vocab.QUARTERS, n)
+
+
+# ---------------------------------------------------------------------- identifiers
+def _gen_id(rng, n, style):
+    start = rng.randint(1, 5000)
+    if style == "shifted":
+        prefix = rng.choice(["REC-", "ROW", "#"])
+        return [f"{prefix}{start + i}" for i in range(n)]
+    return [str(start + i) for i in range(n)]
+
+
+def _gen_order_id(rng, n, style):
+    prefix = rng.choice(["ORD-", "SO-", "PO-", ""]) if style != "shifted" else "2024/"
+    return [f"{prefix}{rng.randint(10000, 99999)}" for _ in range(n)]
+
+
+def _gen_customer_id(rng, n, style):
+    prefix = rng.choice(["CUST-", "C", "ACME-"])
+    return [f"{prefix}{rng.randint(1000, 99999)}" for _ in range(n)]
+
+
+def _gen_product_id(rng, n, style):
+    return [f"P-{rng.randint(100, 9999)}" for _ in range(n)]
+
+
+def _gen_sku(rng, n, style):
+    values = []
+    for _ in range(n):
+        letters = "".join(rng.choice(string.ascii_uppercase) for _ in range(3))
+        values.append(f"{letters}-{rng.randint(100, 999)}-{rng.randint(10, 99)}")
+    return values
+
+
+def _gen_invoice_number(rng, n, style):
+    return [f"INV-{rng.randint(2019, 2025)}-{rng.randint(1000, 9999)}" for _ in range(n)]
+
+
+def _gen_transaction_id(rng, n, style):
+    return ["TXN" + "".join(rng.choice(string.hexdigits.upper()) for _ in range(10)) for _ in range(n)]
+
+
+def _gen_uuid(rng, n, style):
+    def block(k):
+        return "".join(rng.choice("0123456789abcdef") for _ in range(k))
+
+    return [f"{block(8)}-{block(4)}-{block(4)}-{block(4)}-{block(12)}" for _ in range(n)]
+
+
+def _gen_isbn(rng, n, style):
+    return [f"978-{rng.randint(0, 9)}-{rng.randint(10, 99)}-{rng.randint(100000, 999999)}-{rng.randint(0, 9)}" for _ in range(n)]
+
+
+def _gen_patient_id(rng, n, style):
+    return [f"MRN{rng.randint(100000, 999999)}" for _ in range(n)]
+
+
+def _gen_code(rng, n, style):
+    values = []
+    for _ in range(n):
+        values.append("".join(rng.choice(string.ascii_uppercase) for _ in range(rng.randint(2, 4))))
+    return values
+
+
+# -------------------------------------------------------------------------- commerce
+def _gen_product(rng, n, style):
+    return _choices(rng, vocab.PRODUCTS, n)
+
+
+def _gen_category(rng, n, style):
+    return _choices(rng, vocab.PRODUCT_CATEGORIES, n)
+
+
+def _gen_brand(rng, n, style):
+    return _choices(rng, vocab.BRANDS, n)
+
+
+def _gen_price(rng, n, style):
+    if style == "shifted":
+        return [f"€{rng.uniform(1, 2000):.2f}".replace(".", ",") for _ in range(n)]
+    symbol = rng.choice(["$", ""])
+    return _numbers(rng, n, 0.5, 2_000, decimals=2, prefix=symbol)
+
+
+def _gen_currency(rng, n, style):
+    pool = vocab.CURRENCY_SYMBOLS if style == "shifted" else vocab.CURRENCY_CODES
+    return _choices(rng, pool, n)
+
+
+def _gen_quantity(rng, n, style):
+    return _numbers(rng, n, 1, 500)
+
+
+def _gen_discount(rng, n, style):
+    if style == "shifted":
+        return _numbers(rng, n, 0, 0.6, decimals=2)
+    return _numbers(rng, n, 0, 60, suffix="%")
+
+
+def _gen_tax_rate(rng, n, style):
+    return _numbers(rng, n, 0, 25, decimals=1, suffix="%" if style != "shifted" else "")
+
+
+def _gen_payment_method(rng, n, style):
+    return _choices(rng, vocab.PAYMENT_METHODS, n)
+
+
+def _gen_shipping_method(rng, n, style):
+    return _choices(rng, vocab.SHIPPING_METHODS, n)
+
+
+# --------------------------------------------------------------------------- finance
+def _gen_iban(rng, n, style):
+    values = []
+    for _ in range(n):
+        country = rng.choice(["NL", "DE", "FR", "GB", "ES"])
+        bank = "".join(rng.choice(string.ascii_uppercase) for _ in range(4))
+        values.append(f"{country}{rng.randint(10, 99)}{bank}{rng.randint(10 ** 9, 10 ** 10 - 1)}")
+    return values
+
+
+def _gen_credit_card(rng, n, style):
+    values = []
+    for _ in range(n):
+        groups = [str(rng.randint(1000, 9999)) for _ in range(4)]
+        separator = " " if style != "shifted" else "-"
+        values.append(separator.join(groups))
+    return values
+
+
+def _gen_account_number(rng, n, style):
+    return [str(rng.randint(10 ** 7, 10 ** 10)) for _ in range(n)]
+
+
+def _gen_stock_symbol(rng, n, style):
+    return _choices(rng, vocab.STOCK_SYMBOLS, n)
+
+
+def _gen_market_cap(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.uniform(0.1, 3000):.1f}B" for _ in range(n)]
+    return _numbers(rng, n, 1e8, 3e12, thousands=True)
+
+
+def _gen_interest_rate(rng, n, style):
+    return _numbers(rng, n, 0, 15, decimals=2, suffix="%" if style != "shifted" else "")
+
+
+def _gen_exchange_rate(rng, n, style):
+    return _numbers(rng, n, 0.1, 150, decimals=4)
+
+
+def _gen_profit(rng, n, style):
+    values = []
+    for _ in range(n):
+        amount = rng.uniform(-5_000_000, 20_000_000)
+        if style == "shifted" and amount < 0:
+            values.append(f"({abs(amount):,.0f})")
+        else:
+            values.append(f"{amount:,.0f}")
+    return values
+
+
+def _gen_budget(rng, n, style):
+    return _numbers(rng, n, 10_000, 5_000_000, thousands=True)
+
+
+# --------------------------------------------------------------------------- medical
+def _gen_blood_type(rng, n, style):
+    return _choices(rng, vocab.BLOOD_TYPES, n)
+
+
+def _gen_diagnosis(rng, n, style):
+    return _choices(rng, vocab.DIAGNOSES, n)
+
+
+def _gen_medication(rng, n, style):
+    return _choices(rng, vocab.MEDICATIONS, n)
+
+
+def _gen_dosage(rng, n, style):
+    return [f"{rng.choice([5, 10, 20, 25, 50, 100, 200, 250, 500])} {rng.choice(vocab.DOSAGE_UNITS)}" for _ in range(n)]
+
+
+def _gen_heart_rate(rng, n, style):
+    return _numbers(rng, n, 45, 180)
+
+
+def _gen_blood_pressure(rng, n, style):
+    return [f"{rng.randint(90, 180)}/{rng.randint(55, 110)}" for _ in range(n)]
+
+
+# ----------------------------------------------------------------------- measurement
+def _gen_temperature(rng, n, style):
+    if style == "shifted":
+        return _numbers(rng, n, 20, 110, decimals=1, suffix="°F")
+    return _numbers(rng, n, -30, 45, decimals=1)
+
+
+def _gen_weight(rng, n, style):
+    if style == "shifted":
+        return _numbers(rng, n, 80, 400, decimals=1, suffix=" lbs")
+    return _numbers(rng, n, 0.1, 180, decimals=1)
+
+
+def _gen_height(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.randint(4, 6)}'{rng.randint(0, 11)}\"" for _ in range(n)]
+    return _numbers(rng, n, 140, 210)
+
+
+def _gen_distance(rng, n, style):
+    return _numbers(rng, n, 0.1, 10_000, decimals=1)
+
+
+def _gen_area(rng, n, style):
+    return _numbers(rng, n, 10, 1_000_000, decimals=1)
+
+
+def _gen_speed(rng, n, style):
+    return _numbers(rng, n, 1, 300, decimals=1)
+
+
+def _gen_percentage(rng, n, style):
+    if style == "shifted":
+        return _numbers(rng, n, 0, 1, decimals=3)
+    return _numbers(rng, n, 0, 100, decimals=1, suffix="%")
+
+
+def _gen_population(rng, n, style):
+    return _numbers(rng, n, 500, 30_000_000, thousands=True)
+
+
+# --------------------------------------------------------------------------------- web
+def _gen_url(rng, n, style):
+    values = []
+    for _ in range(n):
+        word = rng.choice(vocab.DOMAIN_WORDS) + rng.choice(vocab.DOMAIN_WORDS)
+        tld = rng.choice(vocab.TOP_LEVEL_DOMAINS)
+        path = rng.choice(vocab.URL_PATHS)
+        values.append(f"https://{word}.{tld}/{path}")
+    return values
+
+
+def _gen_ip_address(rng, n, style):
+    if style == "shifted":
+        def block():
+            return "".join(rng.choice("0123456789abcdef") for _ in range(4))
+
+        return [f"{block()}:{block()}::{block()}" for _ in range(n)]
+    return [".".join(str(rng.randint(0, 255)) for _ in range(4)) for _ in range(n)]
+
+
+def _gen_domain(rng, n, style):
+    return [f"{rng.choice(vocab.DOMAIN_WORDS)}{rng.choice(vocab.DOMAIN_WORDS)}.{rng.choice(vocab.TOP_LEVEL_DOMAINS)}" for _ in range(n)]
+
+
+def _gen_user_agent(rng, n, style):
+    return _choices(rng, vocab.USER_AGENTS, n)
+
+
+def _gen_file_name(rng, n, style):
+    return [f"{rng.choice(vocab.FILE_WORDS)}_{rng.randint(1, 999)}.{rng.choice(vocab.FILE_EXTENSIONS)}" for _ in range(n)]
+
+
+def _gen_file_size(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.uniform(0.1, 950):.1f} MB" for _ in range(n)]
+    return _numbers(rng, n, 100, 10 ** 9)
+
+
+def _gen_mime_type(rng, n, style):
+    return _choices(rng, vocab.MIME_TYPES, n)
+
+
+def _gen_version(rng, n, style):
+    return [f"{rng.choice(vocab.VERSION_PREFIXES)}{rng.randint(0, 9)}.{rng.randint(0, 20)}.{rng.randint(0, 40)}" for _ in range(n)]
+
+
+def _gen_language(rng, n, style):
+    pool = vocab.LANGUAGE_CODES if style == "shifted" else vocab.LANGUAGE_NAMES
+    return _choices(rng, pool, n)
+
+
+def _gen_color(rng, n, style):
+    if style == "shifted":
+        return ["#" + "".join(rng.choice("0123456789ABCDEF") for _ in range(6)) for _ in range(n)]
+    return _choices(rng, vocab.COLORS, n)
+
+
+# ------------------------------------------------------------------------------ generic
+def _gen_status(rng, n, style):
+    return _choices(rng, vocab.STATUSES, n)
+
+
+def _gen_description(rng, n, style):
+    subjects = ["Customer", "Order", "Shipment", "Ticket", "Invoice", "Account", "Project", "Request"]
+    verbs = ["requires", "received", "completed", "escalated", "updated", "scheduled", "approved", "flagged"]
+    objects = ["follow-up", "review", "payment", "delivery", "inspection", "renewal", "refund", "signature"]
+    return [f"{rng.choice(subjects)} {rng.choice(verbs)} {rng.choice(objects)}" for _ in range(n)]
+
+
+def _gen_rating(rng, n, style):
+    if style == "shifted":
+        return [f"{rng.randint(1, 10)}/10" for _ in range(n)]
+    return _numbers(rng, n, 1, 5, decimals=1)
+
+
+def _gen_score(rng, n, style):
+    return _numbers(rng, n, 0, 100, decimals=rng.choice([0, 1]))
+
+
+def _gen_count(rng, n, style):
+    return _numbers(rng, n, 0, 10_000)
+
+
+def _gen_priority(rng, n, style):
+    return _choices(rng, vocab.PRIORITIES, n)
+
+
+def _gen_boolean_flag(rng, n, style):
+    true_token, false_token = rng.choice(vocab.BOOLEAN_PAIRS)
+    return [rng.choice([true_token, false_token]) for _ in range(n)]
+
+
+def _gen_grade(rng, n, style):
+    return _choices(rng, vocab.GRADE_LETTERS, n)
+
+
+# ----------------------------------------------------------------------------- registry
+def _profile(
+    type_name: str,
+    generate: GeneratorFn,
+    headers: tuple[str, ...],
+    dirty: tuple[str, ...] = (),
+    verbose: tuple[str, ...] = (),
+    kb_values: tuple[str, ...] = (),
+    numeric: bool = False,
+) -> TypeProfile:
+    return TypeProfile(
+        type_name=type_name,
+        generate=generate,
+        headers=headers,
+        dirty_headers=dirty,
+        verbose_headers=verbose,
+        kb_values=kb_values,
+        numeric=numeric,
+    )
+
+
+TYPE_PROFILES: dict[str, TypeProfile] = {
+    profile.type_name: profile
+    for profile in [
+        # person
+        _profile("name", _gen_name, ("name", "full_name", "customer_name", "employee_name"),
+                 dirty=("nm", "cust_nm", "emp_name", "fullname"),
+                 verbose=("Name", "Full Name", "Person"),),
+        _profile("first_name", _gen_first_name, ("first_name", "fname", "given_name"),
+                 dirty=("f_name", "first_nm", "fn"), verbose=("First Name", "Given Name"),
+                 kb_values=tuple(vocab.FIRST_NAMES)),
+        _profile("last_name", _gen_last_name, ("last_name", "lname", "surname"),
+                 dirty=("l_name", "last_nm", "ln"), verbose=("Last Name", "Surname"),
+                 kb_values=tuple(vocab.LAST_NAMES)),
+        _profile("email", _gen_email, ("email", "email_address", "contact_email"),
+                 dirty=("eml", "e_mail", "mail_addr"), verbose=("Email", "Email Address")),
+        _profile("phone_number", _gen_phone, ("phone", "phone_number", "telephone", "mobile"),
+                 dirty=("ph", "tel_no", "phone_no", "mob"), verbose=("Phone", "Telephone Number")),
+        _profile("age", _gen_age, ("age", "age_years"), dirty=("age_yrs",), verbose=("Age",), numeric=True),
+        _profile("gender", _gen_gender, ("gender", "sex"), dirty=("gndr", "sx"), verbose=("Gender",),
+                 kb_values=tuple(vocab.GENDERS)),
+        _profile("birth_date", _gen_birth_date, ("birth_date", "date_of_birth", "dob"),
+                 dirty=("birth_dt", "dob_dt", "bday"), verbose=("Date of Birth", "Born")),
+        _profile("nationality", _gen_nationality, ("nationality", "citizenship"),
+                 dirty=("natl", "natnlty"), verbose=("Nationality",),
+                 kb_values=tuple(vocab.NATIONALITIES)),
+        _profile("job_title", _gen_job_title, ("job_title", "title", "position", "role"),
+                 dirty=("job_ttl", "pos", "emp_role"), verbose=("Job Title", "Occupation"),
+                 kb_values=tuple(vocab.JOB_TITLES)),
+        _profile("username", _gen_username, ("username", "user_name", "login"),
+                 dirty=("usr", "usr_nm", "login_id"), verbose=("Username",)),
+        _profile("ssn", _gen_ssn, ("ssn", "social_security_number"),
+                 dirty=("ssn_no", "soc_sec"), verbose=("Social Security Number",)),
+        _profile("marital_status", _gen_marital_status, ("marital_status", "civil_status"),
+                 dirty=("mar_stat", "marital"), verbose=("Marital Status",),
+                 kb_values=tuple(vocab.MARITAL_STATUSES)),
+        # organization
+        _profile("company", _gen_company, ("company", "company_name", "organization", "vendor", "employer"),
+                 dirty=("comp", "org", "co_name", "vndr"), verbose=("Company", "Organization"),
+                 kb_values=tuple(vocab.COMPANIES)),
+        _profile("department", _gen_department, ("department", "dept", "division"),
+                 dirty=("dept_cd", "div"), verbose=("Department",),
+                 kb_values=tuple(vocab.DEPARTMENTS)),
+        _profile("industry", _gen_industry, ("industry", "sector"),
+                 dirty=("ind", "sect"), verbose=("Industry",), kb_values=tuple(vocab.INDUSTRIES)),
+        _profile("salary", _gen_salary, ("salary", "annual_salary", "base_salary", "income"),
+                 dirty=("sal", "base_sal", "comp_amt"), verbose=("Salary", "Annual Income"), numeric=True),
+        _profile("revenue", _gen_revenue, ("revenue", "annual_revenue", "sales", "turnover"),
+                 dirty=("rev", "tot_sales", "rev_amt"), verbose=("Revenue", "Total Sales"), numeric=True),
+        _profile("employee_count", _gen_employee_count, ("employees", "employee_count", "headcount"),
+                 dirty=("emp_cnt", "num_emp", "hc"), verbose=("Number of Employees",), numeric=True),
+        _profile("website", _gen_website, ("website", "homepage", "web_site"),
+                 dirty=("web", "site_url"), verbose=("Website",)),
+        # place
+        _profile("country", _gen_country, ("country", "country_name", "nation"),
+                 dirty=("cntry", "ctry", "country_nm"), verbose=("Country",),
+                 kb_values=tuple(vocab.COUNTRY_NAMES)),
+        _profile("country_code", _gen_country_code, ("country_code", "iso_country", "cc"),
+                 dirty=("ctry_cd", "iso_cc"), verbose=("Country Code",),
+                 kb_values=tuple(vocab.COUNTRY_CODES_2 + vocab.COUNTRY_CODES_3)),
+        _profile("city", _gen_city, ("city", "town", "city_name"),
+                 dirty=("cty", "city_nm", "municip"), verbose=("City", "Town"),
+                 kb_values=tuple(vocab.CITIES)),
+        _profile("state", _gen_state, ("state", "province", "state_code"),
+                 dirty=("st", "state_cd", "prov"), verbose=("State", "Province"),
+                 kb_values=tuple(vocab.STATE_NAMES + vocab.STATE_CODES)),
+        _profile("address", _gen_address, ("address", "street_address", "address_line_1"),
+                 dirty=("addr", "addr_ln1", "str_addr"), verbose=("Address", "Street Address")),
+        _profile("zip_code", _gen_zip_code, ("zip", "zip_code", "postal_code", "postcode"),
+                 dirty=("zip_cd", "pstl_cd"), verbose=("ZIP Code", "Postal Code")),
+        _profile("latitude", _gen_latitude, ("latitude", "lat"), dirty=("geo_lat",),
+                 verbose=("Latitude",), numeric=True),
+        _profile("longitude", _gen_longitude, ("longitude", "lon", "lng"), dirty=("geo_lon",),
+                 verbose=("Longitude",), numeric=True),
+        _profile("continent", _gen_continent, ("continent",), dirty=("cont",),
+                 verbose=("Continent",), kb_values=tuple(vocab.CONTINENTS)),
+        _profile("region", _gen_region, ("region", "sales_region", "territory"),
+                 dirty=("rgn", "terr"), verbose=("Region",), kb_values=tuple(vocab.REGIONS)),
+        # temporal
+        _profile("date", _gen_date, ("date", "order_date", "created_date", "start_date", "end_date"),
+                 dirty=("dt", "ord_dt", "crt_dt", "eff_dt"), verbose=("Date",)),
+        _profile("timestamp", _gen_timestamp, ("timestamp", "created_at", "updated_at", "event_time"),
+                 dirty=("ts", "crt_ts", "upd_ts", "log_ts"), verbose=("Timestamp", "Date and Time")),
+        _profile("year", _gen_year, ("year", "fiscal_year"), dirty=("yr", "fy"),
+                 verbose=("Year",), numeric=True),
+        _profile("month", _gen_month, ("month", "month_name"), dirty=("mon", "mnth"),
+                 verbose=("Month",), kb_values=tuple(vocab.MONTH_NAMES + vocab.MONTH_ABBREVIATIONS)),
+        _profile("day_of_week", _gen_day_of_week, ("day_of_week", "weekday", "day"),
+                 dirty=("dow", "wkday"), verbose=("Day of Week",),
+                 kb_values=tuple(vocab.WEEKDAYS + vocab.WEEKDAY_ABBREVIATIONS)),
+        _profile("time", _gen_time, ("time", "time_of_day"), dirty=("tm", "start_tm"),
+                 verbose=("Time",)),
+        _profile("duration", _gen_duration, ("duration", "duration_minutes", "elapsed_time"),
+                 dirty=("dur", "dur_min", "elapsed"), verbose=("Duration",), numeric=True),
+        _profile("quarter", _gen_quarter, ("quarter", "fiscal_quarter"), dirty=("qtr", "fq"),
+                 verbose=("Quarter",), kb_values=tuple(vocab.QUARTERS)),
+        # identifiers
+        _profile("id", _gen_id, ("id", "record_id", "row_id", "key"),
+                 dirty=("rec_id", "pk", "rid"), verbose=("ID", "Identifier")),
+        _profile("order_id", _gen_order_id, ("order_id", "order_number", "order_no"),
+                 dirty=("ord_id", "ord_no", "po_num"), verbose=("Order Number",)),
+        _profile("customer_id", _gen_customer_id, ("customer_id", "cust_id", "client_id"),
+                 dirty=("cust_no", "clnt_id", "acct_id"), verbose=("Customer ID",)),
+        _profile("product_id", _gen_product_id, ("product_id", "item_id", "product_code"),
+                 dirty=("prod_id", "itm_id", "prd_cd"), verbose=("Product ID",)),
+        _profile("sku", _gen_sku, ("sku", "stock_keeping_unit"), dirty=("sku_cd", "artcl_no"),
+                 verbose=("SKU",)),
+        _profile("invoice_number", _gen_invoice_number, ("invoice_number", "invoice_no", "invoice_id"),
+                 dirty=("inv_no", "inv_id", "bill_no"), verbose=("Invoice Number",)),
+        _profile("transaction_id", _gen_transaction_id, ("transaction_id", "txn_id", "payment_id"),
+                 dirty=("txn_no", "trans_id", "ref_no"), verbose=("Transaction ID",)),
+        _profile("uuid", _gen_uuid, ("uuid", "guid", "unique_id"), dirty=("uid", "obj_uuid"),
+                 verbose=("UUID",)),
+        _profile("isbn", _gen_isbn, ("isbn", "isbn_13"), dirty=("isbn_no",), verbose=("ISBN",)),
+        _profile("patient_id", _gen_patient_id, ("patient_id", "mrn", "medical_record_number"),
+                 dirty=("pat_id", "mrn_no"), verbose=("Patient ID",)),
+        _profile("code", _gen_code, ("code", "ref_code", "lookup_code"),
+                 dirty=("cd", "ref_cd", "lkp_cd"), verbose=("Code",)),
+        # commerce
+        _profile("product", _gen_product, ("product", "product_name", "item", "item_name"),
+                 dirty=("prod", "prod_nm", "itm_desc"), verbose=("Product", "Item Name"),
+                 kb_values=tuple(vocab.PRODUCTS)),
+        _profile("category", _gen_category, ("category", "product_category", "segment"),
+                 dirty=("cat", "prod_cat", "seg"), verbose=("Category",),
+                 kb_values=tuple(vocab.PRODUCT_CATEGORIES)),
+        _profile("brand", _gen_brand, ("brand", "manufacturer", "make"),
+                 dirty=("brnd", "mfr"), verbose=("Brand",), kb_values=tuple(vocab.BRANDS)),
+        _profile("price", _gen_price, ("price", "unit_price", "cost", "list_price"),
+                 dirty=("prc", "unit_prc", "amt"), verbose=("Price", "Unit Price"), numeric=True),
+        _profile("currency", _gen_currency, ("currency", "currency_code", "ccy"),
+                 dirty=("curr", "curr_cd"), verbose=("Currency",),
+                 kb_values=tuple(vocab.CURRENCY_CODES)),
+        _profile("quantity", _gen_quantity, ("quantity", "qty", "units", "units_sold"),
+                 dirty=("qty_ord", "units_cnt", "no_units"), verbose=("Quantity",), numeric=True),
+        _profile("discount", _gen_discount, ("discount", "discount_rate", "discount_pct"),
+                 dirty=("disc", "disc_pct"), verbose=("Discount",), numeric=True),
+        _profile("tax_rate", _gen_tax_rate, ("tax_rate", "tax", "vat"),
+                 dirty=("tax_pct", "vat_rt"), verbose=("Tax Rate",), numeric=True),
+        _profile("payment_method", _gen_payment_method, ("payment_method", "payment_type"),
+                 dirty=("pay_mthd", "pmt_type"), verbose=("Payment Method",),
+                 kb_values=tuple(vocab.PAYMENT_METHODS)),
+        _profile("shipping_method", _gen_shipping_method, ("shipping_method", "ship_mode", "carrier"),
+                 dirty=("ship_md", "carr"), verbose=("Shipping Method",),
+                 kb_values=tuple(vocab.SHIPPING_METHODS)),
+        # finance
+        _profile("iban", _gen_iban, ("iban", "bank_account_iban"), dirty=("iban_no",),
+                 verbose=("IBAN",)),
+        _profile("credit_card_number", _gen_credit_card, ("credit_card_number", "card_number", "cc_number"),
+                 dirty=("cc_no", "card_no", "pan"), verbose=("Credit Card Number",)),
+        _profile("account_number", _gen_account_number, ("account_number", "account_no", "bank_account"),
+                 dirty=("acct_no", "acc_num"), verbose=("Account Number",)),
+        _profile("stock_symbol", _gen_stock_symbol, ("stock_symbol", "ticker", "ticker_symbol"),
+                 dirty=("tkr", "sym"), verbose=("Ticker Symbol",),
+                 kb_values=tuple(vocab.STOCK_SYMBOLS)),
+        _profile("market_cap", _gen_market_cap, ("market_cap", "market_capitalization"),
+                 dirty=("mkt_cap",), verbose=("Market Capitalization",), numeric=True),
+        _profile("interest_rate", _gen_interest_rate, ("interest_rate", "apr", "rate"),
+                 dirty=("int_rt", "rate_pct"), verbose=("Interest Rate",), numeric=True),
+        _profile("exchange_rate", _gen_exchange_rate, ("exchange_rate", "fx_rate"),
+                 dirty=("fx_rt", "exch_rt"), verbose=("Exchange Rate",), numeric=True),
+        _profile("profit", _gen_profit, ("profit", "net_income", "earnings"),
+                 dirty=("net_inc", "pft"), verbose=("Profit", "Net Income"), numeric=True),
+        _profile("budget", _gen_budget, ("budget", "allocated_budget", "planned_spend"),
+                 dirty=("bdgt", "budget_amt"), verbose=("Budget",), numeric=True),
+        # medical
+        _profile("blood_type", _gen_blood_type, ("blood_type", "blood_group"),
+                 dirty=("bld_typ", "abo"), verbose=("Blood Type",), kb_values=tuple(vocab.BLOOD_TYPES)),
+        _profile("diagnosis", _gen_diagnosis, ("diagnosis", "condition", "medical_condition"),
+                 dirty=("diag", "dx", "cond"), verbose=("Diagnosis",), kb_values=tuple(vocab.DIAGNOSES)),
+        _profile("medication", _gen_medication, ("medication", "drug", "drug_name", "prescription"),
+                 dirty=("med", "rx", "drug_nm"), verbose=("Medication",), kb_values=tuple(vocab.MEDICATIONS)),
+        _profile("dosage", _gen_dosage, ("dosage", "dose", "strength"),
+                 dirty=("dose_mg", "dsg"), verbose=("Dosage",)),
+        _profile("heart_rate", _gen_heart_rate, ("heart_rate", "pulse", "bpm"),
+                 dirty=("hr", "hr_bpm"), verbose=("Heart Rate",), numeric=True),
+        _profile("blood_pressure", _gen_blood_pressure, ("blood_pressure", "bp"),
+                 dirty=("bp_sys_dia",), verbose=("Blood Pressure",)),
+        # measurement
+        _profile("temperature", _gen_temperature, ("temperature", "temp", "temperature_c"),
+                 dirty=("tmp", "temp_c"), verbose=("Temperature",), numeric=True),
+        _profile("weight", _gen_weight, ("weight", "weight_kg", "mass"),
+                 dirty=("wt", "wt_kg", "net_wt"), verbose=("Weight",), numeric=True),
+        _profile("height", _gen_height, ("height", "height_cm"),
+                 dirty=("ht", "ht_cm"), verbose=("Height",), numeric=True),
+        _profile("distance", _gen_distance, ("distance", "distance_km", "mileage"),
+                 dirty=("dist", "dist_km", "mi"), verbose=("Distance",), numeric=True),
+        _profile("area", _gen_area, ("area", "surface_area", "area_sqm"),
+                 dirty=("area_m2", "sq_ft"), verbose=("Area",), numeric=True),
+        _profile("speed", _gen_speed, ("speed", "velocity", "speed_kmh"),
+                 dirty=("spd", "kmh"), verbose=("Speed",), numeric=True),
+        _profile("percentage", _gen_percentage, ("percentage", "percent", "pct", "growth_rate"),
+                 dirty=("pct_val", "perc", "ratio_pct"), verbose=("Percentage",), numeric=True),
+        _profile("population", _gen_population, ("population", "inhabitants"),
+                 dirty=("pop", "pop_cnt"), verbose=("Population",), numeric=True),
+        # web
+        _profile("url", _gen_url, ("url", "link", "page_url", "uri"),
+                 dirty=("lnk", "href"), verbose=("URL", "Link")),
+        _profile("ip_address", _gen_ip_address, ("ip_address", "ip", "client_ip"),
+                 dirty=("ip_addr", "src_ip", "host_ip"), verbose=("IP Address",)),
+        _profile("domain", _gen_domain, ("domain", "domain_name", "hostname"),
+                 dirty=("dom", "host_nm"), verbose=("Domain",)),
+        _profile("user_agent", _gen_user_agent, ("user_agent", "browser", "ua"),
+                 dirty=("ua_string", "agent"), verbose=("User Agent",),
+                 kb_values=tuple(vocab.USER_AGENTS)),
+        _profile("file_name", _gen_file_name, ("file_name", "filename", "document_name"),
+                 dirty=("file_nm", "fname_doc", "doc_nm"), verbose=("File Name",)),
+        _profile("file_size", _gen_file_size, ("file_size", "size_bytes", "size"),
+                 dirty=("sz_bytes", "file_sz"), verbose=("File Size",), numeric=True),
+        _profile("mime_type", _gen_mime_type, ("mime_type", "content_type", "file_type"),
+                 dirty=("mime", "cont_type"), verbose=("Content Type",),
+                 kb_values=tuple(vocab.MIME_TYPES)),
+        _profile("version", _gen_version, ("version", "version_number", "release"),
+                 dirty=("ver", "ver_no", "bld_ver"), verbose=("Version",)),
+        _profile("language", _gen_language, ("language", "lang", "locale"),
+                 dirty=("lang_cd", "lcl"), verbose=("Language",),
+                 kb_values=tuple(vocab.LANGUAGE_NAMES + vocab.LANGUAGE_CODES)),
+        _profile("color", _gen_color, ("color", "colour", "color_name"),
+                 dirty=("clr", "col_hex"), verbose=("Color",), kb_values=tuple(vocab.COLORS)),
+        # generic
+        _profile("status", _gen_status, ("status", "order_status", "state"),
+                 dirty=("stat", "sts", "ord_stat"), verbose=("Status",), kb_values=tuple(vocab.STATUSES)),
+        _profile("description", _gen_description, ("description", "notes", "details", "comments"),
+                 dirty=("desc", "descr", "cmnts", "rmks"), verbose=("Description", "Notes")),
+        _profile("rating", _gen_rating, ("rating", "stars", "review_score"),
+                 dirty=("rtg", "avg_rating"), verbose=("Rating",), numeric=True),
+        _profile("score", _gen_score, ("score", "test_score", "points"),
+                 dirty=("scr", "pts"), verbose=("Score",), numeric=True),
+        _profile("count", _gen_count, ("count", "total_count", "frequency", "num"),
+                 dirty=("cnt", "tot_cnt", "freq"), verbose=("Count",), numeric=True),
+        _profile("priority", _gen_priority, ("priority", "severity", "urgency"),
+                 dirty=("prio", "sev", "urg"), verbose=("Priority",), kb_values=tuple(vocab.PRIORITIES)),
+        _profile("boolean_flag", _gen_boolean_flag, ("is_active", "active", "enabled", "flag", "is_deleted"),
+                 dirty=("actv_flg", "del_flg", "is_actv"), verbose=("Active",)),
+        _profile("grade", _gen_grade, ("grade", "letter_grade", "tier"),
+                 dirty=("grd", "qual_grade"), verbose=("Grade",), kb_values=tuple(vocab.GRADE_LETTERS)),
+    ]
+}
+
+
+# ---------------------------------------------------------------- out-of-distribution
+def _gen_gene_sequence(rng, n, style):
+    return ["".join(rng.choice("ACGT") for _ in range(rng.randint(12, 40))) for _ in range(n)]
+
+
+def _gen_chess_opening(rng, n, style):
+    openings = [
+        "Sicilian Defense", "Ruy Lopez", "Queen's Gambit", "King's Indian Defense",
+        "Caro-Kann Defense", "French Defense", "English Opening", "Italian Game",
+        "Scandinavian Defense", "Nimzo-Indian Defense", "Grunfeld Defense", "Pirc Defense",
+    ]
+    return _choices(rng, openings, n)
+
+
+def _gen_aircraft_tail_number(rng, n, style):
+    return [f"N{rng.randint(100, 999)}{rng.choice(string.ascii_uppercase)}{rng.choice(string.ascii_uppercase)}" for _ in range(n)]
+
+
+def _gen_molecular_formula(rng, n, style):
+    return [f"C{rng.randint(1, 30)}H{rng.randint(1, 60)}N{rng.randint(0, 8)}O{rng.randint(0, 12)}" for _ in range(n)]
+
+
+def _gen_hex_hash(rng, n, style):
+    return ["".join(rng.choice("0123456789abcdef") for _ in range(40)) for _ in range(n)]
+
+
+def _gen_license_plate(rng, n, style):
+    return [
+        f"{''.join(rng.choice(string.ascii_uppercase) for _ in range(2))}-{rng.randint(10, 99)}-"
+        f"{''.join(rng.choice(string.ascii_uppercase) for _ in range(2))}"
+        for _ in range(n)
+    ]
+
+
+def _gen_constellation(rng, n, style):
+    constellations = [
+        "Orion", "Cassiopeia", "Ursa Major", "Andromeda", "Lyra", "Cygnus", "Scorpius",
+        "Pegasus", "Draco", "Perseus", "Aquila", "Centaurus", "Phoenix", "Hydra",
+    ]
+    return _choices(rng, constellations, n)
+
+
+def _gen_pantone_code(rng, n, style):
+    return [f"PANTONE {rng.randint(100, 19999)} {rng.choice(['C', 'U', 'TPX'])}" for _ in range(n)]
+
+
+OOD_PROFILES: dict[str, TypeProfile] = {
+    profile.type_name: profile
+    for profile in [
+        _profile("gene_sequence", _gen_gene_sequence, ("gene_sequence", "dna_sequence", "sequence")),
+        _profile("chess_opening", _gen_chess_opening, ("chess_opening", "opening", "eco_name")),
+        _profile("aircraft_tail_number", _gen_aircraft_tail_number, ("tail_number", "aircraft_registration", "reg_no")),
+        _profile("molecular_formula", _gen_molecular_formula, ("molecular_formula", "formula", "compound")),
+        _profile("hex_hash", _gen_hex_hash, ("commit_hash", "sha1", "checksum", "digest")),
+        _profile("license_plate", _gen_license_plate, ("license_plate", "plate_number", "registration_plate")),
+        _profile("constellation", _gen_constellation, ("constellation", "star_group")),
+        _profile("pantone_code", _gen_pantone_code, ("pantone", "pantone_code", "swatch")),
+    ]
+}
+
+
+def profile_for(type_name: str) -> TypeProfile:
+    """Return the generator profile for a semantic type (in- or out-of-distribution)."""
+    if type_name in TYPE_PROFILES:
+        return TYPE_PROFILES[type_name]
+    if type_name in OOD_PROFILES:
+        return OOD_PROFILES[type_name]
+    raise CorpusError(f"no value generator registered for semantic type {type_name!r}")
+
+
+def generate_values(
+    type_name: str,
+    rng: random.Random,
+    n: int,
+    style: str = "default",
+) -> list[str]:
+    """Generate *n* raw cell strings for *type_name* using *style* formatting."""
+    if n < 0:
+        raise CorpusError("cannot generate a negative number of values")
+    profile = profile_for(type_name)
+    return profile.generate(rng, n, style)
+
+
+def generatable_types() -> list[str]:
+    """All in-distribution semantic types that have a value generator."""
+    return list(TYPE_PROFILES)
+
+
+def ood_types() -> list[str]:
+    """All deliberately out-of-distribution types (not in the default ontology)."""
+    return list(OOD_PROFILES)

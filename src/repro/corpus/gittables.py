@@ -1,0 +1,322 @@
+"""Synthetic GitTables-like corpus generator.
+
+The paper pretrains SigmaTyper on GitTables because it contains tables that
+resemble what one finds in enterprise databases: relatively wide, heterogeneous
+tables with terse or abbreviated headers, mixed formatting, null values, and
+semantic types drawn from enterprise, science, and medical domains.  The real
+corpus cannot be downloaded in this environment, so this module generates an
+offline equivalent with those statistical properties:
+
+* tables are organised around *domain themes* (HR, sales, CRM, finance,
+  logistics, medical, web analytics, ...), each theme mixing required and
+  optional semantic types, so column co-occurrence patterns are realistic —
+  which is what the Sato-style context features and co-occurrence labeling
+  functions rely on;
+* headers are drawn from the clean or the abbreviated ("dirty") header pools
+  of each type, occasionally upper-cased or suffixed, and a small fraction of
+  columns get entirely uninformative headers (``col_3``, ``field2``,
+  ``Unnamed: 0``) so the header-matching step cannot solve everything;
+* a configurable fraction of cells is nulled out, and a small fraction of
+  columns is left unlabeled.
+
+Every table records its theme and header style in ``Table.metadata`` so the
+experiments can stratify results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.errors import CorpusError
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+from repro.corpus.generators import TYPE_PROFILES, generate_values, profile_for
+
+__all__ = ["DomainTheme", "GITTABLES_THEMES", "GitTablesConfig", "GitTablesGenerator"]
+
+
+@dataclass(frozen=True)
+class DomainTheme:
+    """A family of tables about one enterprise domain."""
+
+    name: str
+    #: Types that (almost) always appear in a table of this theme.
+    core_types: tuple[str, ...]
+    #: Types that may additionally appear.
+    optional_types: tuple[str, ...]
+    #: Candidate table-name stems.
+    table_stems: tuple[str, ...]
+
+
+GITTABLES_THEMES: tuple[DomainTheme, ...] = (
+    DomainTheme(
+        name="human_resources",
+        core_types=("id", "name", "job_title", "department", "salary"),
+        optional_types=(
+            "first_name", "last_name", "email", "phone_number", "age", "gender",
+            "birth_date", "date", "boolean_flag", "city", "country", "status",
+            "marital_status", "ssn",
+        ),
+        table_stems=("employees", "staff", "hr_roster", "payroll", "personnel"),
+    ),
+    DomainTheme(
+        name="sales_orders",
+        core_types=("order_id", "customer_id", "date", "price", "quantity"),
+        optional_types=(
+            "product", "product_id", "sku", "category", "discount", "tax_rate",
+            "status", "payment_method", "shipping_method", "currency", "region",
+            "city", "country", "profit", "invoice_number",
+        ),
+        table_stems=("orders", "sales", "order_lines", "transactions", "invoices"),
+    ),
+    DomainTheme(
+        name="crm_customers",
+        core_types=("customer_id", "name", "email", "country"),
+        optional_types=(
+            "phone_number", "company", "industry", "city", "state", "address",
+            "zip_code", "date", "status", "region", "website", "revenue",
+            "employee_count", "boolean_flag",
+        ),
+        table_stems=("customers", "accounts", "leads", "contacts", "prospects"),
+    ),
+    DomainTheme(
+        name="product_inventory",
+        core_types=("product_id", "product", "category", "price"),
+        optional_types=(
+            "sku", "brand", "quantity", "status", "weight", "color", "description",
+            "rating", "count", "currency", "date", "boolean_flag",
+        ),
+        table_stems=("products", "inventory", "catalog", "stock", "items"),
+    ),
+    DomainTheme(
+        name="finance_transactions",
+        core_types=("transaction_id", "date", "price", "currency"),
+        optional_types=(
+            "account_number", "iban", "credit_card_number", "status", "category",
+            "description", "profit", "budget", "interest_rate", "exchange_rate",
+            "payment_method", "customer_id", "country",
+        ),
+        table_stems=("transactions", "ledger", "payments", "bank_statements", "journal"),
+    ),
+    DomainTheme(
+        name="equities",
+        core_types=("stock_symbol", "company", "price", "date"),
+        optional_types=(
+            "market_cap", "revenue", "profit", "percentage", "currency", "industry",
+            "country", "employee_count", "year", "score",
+        ),
+        table_stems=("stocks", "equities", "holdings", "portfolio", "tickers"),
+    ),
+    DomainTheme(
+        name="medical_records",
+        core_types=("patient_id", "name", "birth_date", "diagnosis"),
+        optional_types=(
+            "age", "gender", "blood_type", "medication", "dosage", "heart_rate",
+            "blood_pressure", "weight", "height", "date", "temperature", "status",
+        ),
+        table_stems=("patients", "admissions", "encounters", "lab_results", "prescriptions"),
+    ),
+    DomainTheme(
+        name="web_analytics",
+        core_types=("timestamp", "url", "ip_address"),
+        optional_types=(
+            "user_agent", "domain", "duration", "count", "status", "country",
+            "city", "uuid", "username", "percentage", "file_size", "mime_type",
+        ),
+        table_stems=("page_views", "web_logs", "sessions", "clickstream", "events"),
+    ),
+    DomainTheme(
+        name="logistics_shipments",
+        core_types=("order_id", "date", "shipping_method", "status"),
+        optional_types=(
+            "address", "city", "state", "zip_code", "country", "weight", "distance",
+            "quantity", "price", "customer_id", "region", "duration",
+        ),
+        table_stems=("shipments", "deliveries", "freight", "tracking", "routes"),
+    ),
+    DomainTheme(
+        name="company_directory",
+        core_types=("company", "industry", "country", "revenue"),
+        optional_types=(
+            "employee_count", "website", "city", "state", "market_cap", "year",
+            "stock_symbol", "region", "description", "status",
+        ),
+        table_stems=("companies", "vendors", "suppliers", "partners", "firms"),
+    ),
+    DomainTheme(
+        name="support_tickets",
+        core_types=("id", "date", "status", "priority"),
+        optional_types=(
+            "customer_id", "description", "email", "category", "duration", "score",
+            "username", "count", "boolean_flag", "department",
+        ),
+        table_stems=("tickets", "cases", "incidents", "requests", "issues"),
+    ),
+    DomainTheme(
+        name="facilities_iot",
+        core_types=("timestamp", "temperature", "id"),
+        optional_types=(
+            "percentage", "speed", "area", "status", "city", "latitude", "longitude",
+            "count", "duration", "code", "boolean_flag",
+        ),
+        table_stems=("sensor_readings", "telemetry", "measurements", "device_logs", "metrics"),
+    ),
+    DomainTheme(
+        name="education",
+        core_types=("id", "name", "score", "grade"),
+        optional_types=(
+            "age", "gender", "date", "year", "email", "percentage", "status",
+            "language", "country", "city",
+        ),
+        table_stems=("students", "enrollments", "grades", "exam_results", "courses"),
+    ),
+    DomainTheme(
+        name="geography",
+        core_types=("city", "country", "population"),
+        optional_types=(
+            "latitude", "longitude", "area", "region", "continent", "country_code",
+            "year", "percentage", "language",
+        ),
+        table_stems=("cities", "locations", "sites", "branches", "offices"),
+    ),
+)
+
+#: Headers that carry no semantic signal; used for a small fraction of columns.
+_UNINFORMATIVE_HEADERS = ("col", "field", "column", "attr", "var", "Unnamed: 0", "value", "data")
+
+
+@dataclass
+class GitTablesConfig:
+    """Parameters controlling the synthetic GitTables-like corpus."""
+
+    num_tables: int = 200
+    min_columns: int = 4
+    max_columns: int = 14
+    min_rows: int = 20
+    max_rows: int = 120
+    #: Probability that a table uses abbreviated/dirty headers.
+    dirty_header_probability: float = 0.45
+    #: Probability that an individual header gets an uninformative name.
+    uninformative_header_probability: float = 0.08
+    #: Probability that an individual column loses its ground-truth label.
+    unlabeled_column_probability: float = 0.03
+    #: Per-cell probability of a null value.
+    null_cell_probability: float = 0.04
+    #: Value-formatting style handed to the generators.
+    value_style: str = "default"
+    #: Restrict themes by name (``None`` means all themes).
+    themes: tuple[str, ...] | None = None
+    seed: int = 13
+
+    def selected_themes(self) -> tuple[DomainTheme, ...]:
+        """The theme objects this configuration draws from."""
+        if self.themes is None:
+            return GITTABLES_THEMES
+        by_name = {theme.name: theme for theme in GITTABLES_THEMES}
+        missing = [name for name in self.themes if name not in by_name]
+        if missing:
+            raise CorpusError(f"unknown GitTables themes: {missing}")
+        return tuple(by_name[name] for name in self.themes)
+
+
+class GitTablesGenerator:
+    """Generates database-like annotated tables, one theme at a time."""
+
+    def __init__(self, config: GitTablesConfig | None = None) -> None:
+        self.config = config or GitTablesConfig()
+        if self.config.min_columns < 1 or self.config.max_columns < self.config.min_columns:
+            raise CorpusError("invalid column-count range in GitTablesConfig")
+        if self.config.min_rows < 1 or self.config.max_rows < self.config.min_rows:
+            raise CorpusError("invalid row-count range in GitTablesConfig")
+        self._themes = self.config.selected_themes()
+
+    # ------------------------------------------------------------------ tables
+    def generate_table(self, rng: random.Random, table_index: int = 0) -> Table:
+        """Generate one annotated table."""
+        config = self.config
+        theme = rng.choice(self._themes)
+        num_rows = rng.randint(config.min_rows, config.max_rows)
+        num_columns = rng.randint(config.min_columns, config.max_columns)
+        header_style = "dirty" if rng.random() < config.dirty_header_probability else "clean"
+
+        type_sequence = self._choose_types(rng, theme, num_columns)
+        columns = [
+            self._build_column(rng, type_name, num_rows, header_style)
+            for type_name in type_sequence
+        ]
+        table_name = f"{rng.choice(theme.table_stems)}_{table_index:04d}"
+        return Table(
+            columns,
+            name=table_name,
+            metadata={"theme": theme.name, "header_style": header_style, "source": "gittables-like"},
+        )
+
+    def generate_corpus(self, num_tables: int | None = None, seed: int | None = None) -> TableCorpus:
+        """Generate a full corpus of annotated tables."""
+        count = self.config.num_tables if num_tables is None else num_tables
+        rng = random.Random(self.config.seed if seed is None else seed)
+        corpus = TableCorpus(name="gittables-like")
+        for index in range(count):
+            corpus.add(self.generate_table(rng, table_index=index))
+        return corpus
+
+    # ----------------------------------------------------------------- helpers
+    def _choose_types(self, rng: random.Random, theme: DomainTheme, num_columns: int) -> list[str]:
+        """Pick the semantic types of a table's columns for *theme*."""
+        chosen: list[str] = []
+        core = [t for t in theme.core_types if t in TYPE_PROFILES]
+        optional = [t for t in theme.optional_types if t in TYPE_PROFILES]
+        rng.shuffle(core)
+        for type_name in core:
+            if len(chosen) >= num_columns:
+                break
+            chosen.append(type_name)
+        remaining = [t for t in optional if t not in chosen]
+        rng.shuffle(remaining)
+        while len(chosen) < num_columns and remaining:
+            chosen.append(remaining.pop())
+        # Wide tables may exhaust the theme pool; repeat optional types with
+        # distinct headers rather than importing unrelated domains.
+        while len(chosen) < num_columns:
+            chosen.append(rng.choice(optional or core))
+        rng.shuffle(chosen)
+        return chosen
+
+    def _build_column(
+        self,
+        rng: random.Random,
+        type_name: str,
+        num_rows: int,
+        header_style: str,
+    ) -> Column:
+        """Generate one annotated column of *type_name*."""
+        config = self.config
+        profile = profile_for(type_name)
+        header = rng.choice(profile.header_pool(header_style if header_style == "dirty" else "default"))
+        header = self._decorate_header(rng, header)
+        if rng.random() < config.uninformative_header_probability:
+            header = f"{rng.choice(_UNINFORMATIVE_HEADERS)}_{rng.randint(0, 20)}"
+        values: list[object] = generate_values(type_name, rng, num_rows, style=config.value_style)
+        if config.null_cell_probability > 0:
+            values = [
+                None if rng.random() < config.null_cell_probability else value
+                for value in values
+            ]
+        label: str | None = type_name
+        if rng.random() < config.unlabeled_column_probability:
+            label = None
+        return Column(name=header, values=values, semantic_type=label,
+                      metadata={"generator_type": type_name})
+
+    @staticmethod
+    def _decorate_header(rng: random.Random, header: str) -> str:
+        """Apply the casing/prefix noise seen in real database exports."""
+        roll = rng.random()
+        if roll < 0.15:
+            return header.upper()
+        if roll < 0.25:
+            return header.replace("_", " ").title()
+        if roll < 0.30:
+            return f"{header}_{rng.randint(1, 9)}"
+        return header

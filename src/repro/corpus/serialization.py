@@ -1,0 +1,134 @@
+"""Reading and writing tables and corpora (CSV and JSON).
+
+Enterprise tables arrive as CSV exports; the pipeline's own artifacts (ground
+truth, generated corpora) round-trip through JSON.  All functions here work
+with :class:`pathlib.Path` or plain strings and never touch global state.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.errors import SerializationError
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+
+__all__ = [
+    "table_to_csv",
+    "table_from_csv",
+    "table_to_json",
+    "table_from_json",
+    "corpus_to_json",
+    "corpus_from_json",
+    "corpus_to_directory",
+    "corpus_from_directory",
+]
+
+
+def table_to_csv(table: Table, path: str | Path) -> Path:
+    """Write *table* to a CSV file (header row first); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header, rows = table.to_rows()
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+    return path
+
+
+def table_from_csv(
+    path: str | Path,
+    name: str | None = None,
+    semantic_types: dict[str, str] | None = None,
+) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    Parameters
+    ----------
+    semantic_types:
+        Optional ``{header: type}`` ground-truth annotations to attach.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"CSV file not found: {path}")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise SerializationError(f"CSV file is empty: {path}")
+    header, data_rows = rows[0], rows[1:]
+    table = Table.from_rows(header, data_rows, name=name or path.stem)
+    if semantic_types:
+        for column in table.columns:
+            if column.name in semantic_types:
+                column.semantic_type = semantic_types[column.name]
+    return table
+
+
+def table_to_json(table: Table, path: str | Path) -> Path:
+    """Write *table* (including annotations and metadata) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(table.to_dict(), indent=2, default=str), encoding="utf-8")
+    return path
+
+
+def table_from_json(path: str | Path) -> Table:
+    """Read a table previously written with :func:`table_to_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"JSON file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return Table.from_dict(payload)
+
+
+def corpus_to_json(corpus: TableCorpus, path: str | Path) -> Path:
+    """Write a whole corpus to one JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(corpus.to_dict(), indent=2, default=str), encoding="utf-8")
+    return path
+
+
+def corpus_from_json(path: str | Path) -> TableCorpus:
+    """Read a corpus previously written with :func:`corpus_to_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"JSON file not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return TableCorpus.from_dict(payload)
+
+
+def corpus_to_directory(corpus: TableCorpus, directory: str | Path) -> list[Path]:
+    """Write each table to ``<directory>/<table-name>.json``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    used_names: set[str] = set()
+    for index, table in enumerate(corpus.tables):
+        safe_name = "".join(c if c.isalnum() or c in "-_" else "_" for c in table.name) or f"table_{index}"
+        if safe_name in used_names:
+            safe_name = f"{safe_name}_{index}"
+        used_names.add(safe_name)
+        paths.append(table_to_json(table, directory / f"{safe_name}.json"))
+    return paths
+
+
+def corpus_from_directory(directory: str | Path, name: str = "") -> TableCorpus:
+    """Read every ``*.json`` table in *directory* into a corpus."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise SerializationError(f"not a directory: {directory}")
+    tables = [table_from_json(path) for path in sorted(directory.glob("*.json"))]
+    return TableCorpus(tables, name=name or directory.name)

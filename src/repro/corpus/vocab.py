@@ -1,0 +1,338 @@
+"""Entity vocabularies backing the synthetic corpus generators.
+
+GitTables and the DBpedia Knowledge Base are not available offline, so the
+corpus generators and the lookup knowledge base both draw from the entity
+dictionaries in this module.  The lists are intentionally sized like small
+reference dictionaries (tens of entries each): large enough that generated
+tables have realistic value diversity and that held-out splits contain values
+never seen during training, small enough to keep the repository self-contained.
+
+Everything here is plain data; no randomness and no I/O.
+"""
+
+from __future__ import annotations
+
+__all__ = [name for name in dir() if name.isupper()]
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda",
+    "David", "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+    "Kenneth", "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary", "Amy",
+    "Nicholas", "Angela", "Eric", "Shirley", "Jonathan", "Anna", "Stephen", "Brenda",
+    "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole", "Brandon", "Helen",
+    "Wei", "Ana", "Mohammed", "Yuki", "Priya", "Lars", "Sofia", "Mateo",
+    "Fatima", "Hiroshi", "Ingrid", "Omar", "Chen", "Amara", "Dmitri", "Lucia",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill",
+    "Flores", "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell",
+    "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris", "Morales",
+    "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Kim", "Chen", "Wang", "Singh", "Patel", "Kumar", "Ali", "Khan",
+    "Tanaka", "Sato", "Mueller", "Schmidt", "Rossi", "Ferrari", "Silva", "Santos",
+]
+
+COMPANIES = [
+    "Acme Corp", "Globex", "Initech", "Umbrella Holdings", "Stark Industries",
+    "Wayne Enterprises", "Wonka Industries", "Cyberdyne Systems", "Tyrell Corp",
+    "Soylent Foods", "Vandelay Industries", "Pied Piper", "Hooli", "Aviato",
+    "Dunder Mifflin", "Prestige Worldwide", "Bluth Company", "Sterling Cooper",
+    "Massive Dynamic", "Oscorp", "LexCorp", "Weyland-Yutani", "Aperture Science",
+    "Black Mesa", "Virtucon", "Gringotts Bank", "Monsters Inc", "Gekko & Co",
+    "Nakatomi Trading", "Oceanic Airlines", "Sirius Cybernetics", "InGen",
+    "Buy n Large", "Zorg Industries", "Duff Brewing", "Krusty Krab Holdings",
+    "Paper Street Soap", "Delos Destinations", "Abstergo Industries", "Rekall",
+    "Northwind Traders", "Contoso", "Fabrikam", "Adventure Works", "Tailwind Traders",
+    "Sigma Analytics", "Adyen Payments", "Lumon Industries", "Vehement Capital",
+    "Central Perk Coffee", "Genco Olive Oil", "Stay Puft Foods", "Cheers Hospitality",
+]
+
+COMPANY_SUFFIXES = ["Inc", "LLC", "Ltd", "GmbH", "Corp", "SA", "BV", "AG", "PLC", "Co"]
+
+DEPARTMENTS = [
+    "Engineering", "Sales", "Marketing", "Finance", "Human Resources", "Operations",
+    "Legal", "Customer Support", "Research", "Product", "Design", "IT",
+    "Procurement", "Quality Assurance", "Logistics", "Business Development",
+    "Data Science", "Security", "Facilities", "Accounting", "Compliance", "Training",
+]
+
+JOB_TITLES = [
+    "Software Engineer", "Data Analyst", "Product Manager", "Account Executive",
+    "Sales Representative", "Marketing Manager", "Financial Analyst", "HR Specialist",
+    "Operations Manager", "Customer Success Manager", "Research Scientist",
+    "UX Designer", "DevOps Engineer", "QA Engineer", "Business Analyst",
+    "Project Manager", "Technical Writer", "Support Specialist", "Data Engineer",
+    "Chief Executive Officer", "Chief Financial Officer", "VP of Sales",
+    "Director of Engineering", "Office Manager", "Recruiter", "Legal Counsel",
+    "Solutions Architect", "Machine Learning Engineer", "Controller", "Treasurer",
+]
+
+INDUSTRIES = [
+    "Technology", "Healthcare", "Finance", "Retail", "Manufacturing", "Education",
+    "Energy", "Transportation", "Hospitality", "Telecommunications", "Insurance",
+    "Real Estate", "Agriculture", "Construction", "Media", "Pharmaceuticals",
+    "Automotive", "Aerospace", "Logistics", "Consumer Goods", "Biotechnology",
+]
+
+CITIES = [
+    "New York", "San Francisco", "Amsterdam", "London", "Paris", "Berlin", "Tokyo",
+    "Sydney", "Toronto", "Chicago", "Boston", "Seattle", "Austin", "Denver",
+    "Los Angeles", "San Diego", "Miami", "Atlanta", "Dallas", "Houston",
+    "Madrid", "Barcelona", "Rome", "Milan", "Vienna", "Zurich", "Geneva",
+    "Stockholm", "Oslo", "Copenhagen", "Helsinki", "Dublin", "Lisbon", "Prague",
+    "Warsaw", "Budapest", "Athens", "Istanbul", "Dubai", "Singapore", "Hong Kong",
+    "Seoul", "Shanghai", "Beijing", "Mumbai", "Delhi", "Bangalore", "São Paulo",
+    "Buenos Aires", "Mexico City", "Bogotá", "Lima", "Santiago", "Cape Town",
+    "Nairobi", "Lagos", "Cairo", "Tel Aviv", "Bangkok", "Jakarta", "Manila",
+    "Kuala Lumpur", "Auckland", "Melbourne", "Vancouver", "Montreal", "Utrecht",
+    "Rotterdam", "Eindhoven", "Brussels", "Antwerp", "Lyon", "Marseille", "Munich",
+    "Hamburg", "Frankfurt", "Cologne", "Portland", "Phoenix", "Philadelphia",
+]
+
+COUNTRIES = [
+    ("United States", "US", "USA"), ("Netherlands", "NL", "NLD"),
+    ("United Kingdom", "GB", "GBR"), ("Germany", "DE", "DEU"), ("France", "FR", "FRA"),
+    ("Spain", "ES", "ESP"), ("Italy", "IT", "ITA"), ("Canada", "CA", "CAN"),
+    ("Australia", "AU", "AUS"), ("Japan", "JP", "JPN"), ("China", "CN", "CHN"),
+    ("India", "IN", "IND"), ("Brazil", "BR", "BRA"), ("Mexico", "MX", "MEX"),
+    ("Argentina", "AR", "ARG"), ("South Korea", "KR", "KOR"), ("Sweden", "SE", "SWE"),
+    ("Norway", "NO", "NOR"), ("Denmark", "DK", "DNK"), ("Finland", "FI", "FIN"),
+    ("Switzerland", "CH", "CHE"), ("Austria", "AT", "AUT"), ("Belgium", "BE", "BEL"),
+    ("Ireland", "IE", "IRL"), ("Portugal", "PT", "PRT"), ("Poland", "PL", "POL"),
+    ("Czech Republic", "CZ", "CZE"), ("Greece", "GR", "GRC"), ("Turkey", "TR", "TUR"),
+    ("United Arab Emirates", "AE", "ARE"), ("Singapore", "SG", "SGP"),
+    ("South Africa", "ZA", "ZAF"), ("Kenya", "KE", "KEN"), ("Nigeria", "NG", "NGA"),
+    ("Egypt", "EG", "EGY"), ("Israel", "IL", "ISR"), ("Thailand", "TH", "THA"),
+    ("Indonesia", "ID", "IDN"), ("Philippines", "PH", "PHL"), ("Malaysia", "MY", "MYS"),
+    ("New Zealand", "NZ", "NZL"), ("Chile", "CL", "CHL"), ("Colombia", "CO", "COL"),
+    ("Peru", "PE", "PER"), ("Russia", "RU", "RUS"), ("Ukraine", "UA", "UKR"),
+    ("Vietnam", "VN", "VNM"), ("Pakistan", "PK", "PAK"), ("Bangladesh", "BD", "BGD"),
+    ("Morocco", "MA", "MAR"),
+]
+
+COUNTRY_NAMES = [entry[0] for entry in COUNTRIES]
+COUNTRY_CODES_2 = [entry[1] for entry in COUNTRIES]
+COUNTRY_CODES_3 = [entry[2] for entry in COUNTRIES]
+
+NATIONALITIES = [
+    "American", "Dutch", "British", "German", "French", "Spanish", "Italian",
+    "Canadian", "Australian", "Japanese", "Chinese", "Indian", "Brazilian",
+    "Mexican", "Argentine", "Korean", "Swedish", "Norwegian", "Danish", "Finnish",
+    "Swiss", "Austrian", "Belgian", "Irish", "Portuguese", "Polish", "Czech",
+    "Greek", "Turkish", "Emirati", "Singaporean", "South African", "Kenyan",
+    "Nigerian", "Egyptian", "Israeli", "Thai", "Indonesian", "Filipino", "Malaysian",
+]
+
+US_STATES = [
+    ("Alabama", "AL"), ("Alaska", "AK"), ("Arizona", "AZ"), ("Arkansas", "AR"),
+    ("California", "CA"), ("Colorado", "CO"), ("Connecticut", "CT"), ("Delaware", "DE"),
+    ("Florida", "FL"), ("Georgia", "GA"), ("Hawaii", "HI"), ("Idaho", "ID"),
+    ("Illinois", "IL"), ("Indiana", "IN"), ("Iowa", "IA"), ("Kansas", "KS"),
+    ("Kentucky", "KY"), ("Louisiana", "LA"), ("Maine", "ME"), ("Maryland", "MD"),
+    ("Massachusetts", "MA"), ("Michigan", "MI"), ("Minnesota", "MN"), ("Mississippi", "MS"),
+    ("Missouri", "MO"), ("Montana", "MT"), ("Nebraska", "NE"), ("Nevada", "NV"),
+    ("New Hampshire", "NH"), ("New Jersey", "NJ"), ("New Mexico", "NM"), ("New York", "NY"),
+    ("North Carolina", "NC"), ("North Dakota", "ND"), ("Ohio", "OH"), ("Oklahoma", "OK"),
+    ("Oregon", "OR"), ("Pennsylvania", "PA"), ("Rhode Island", "RI"), ("South Carolina", "SC"),
+    ("South Dakota", "SD"), ("Tennessee", "TN"), ("Texas", "TX"), ("Utah", "UT"),
+    ("Vermont", "VT"), ("Virginia", "VA"), ("Washington", "WA"), ("West Virginia", "WV"),
+    ("Wisconsin", "WI"), ("Wyoming", "WY"),
+]
+
+STATE_NAMES = [entry[0] for entry in US_STATES]
+STATE_CODES = [entry[1] for entry in US_STATES]
+
+STREET_NAMES = [
+    "Main St", "Oak Ave", "Maple Dr", "Cedar Ln", "Park Blvd", "Elm St", "Pine Rd",
+    "Washington Ave", "Lake View Dr", "Hillcrest Rd", "Sunset Blvd", "River Rd",
+    "Church St", "High St", "Broadway", "2nd Ave", "5th Ave", "Market St",
+    "King St", "Queen St", "Station Rd", "Victoria Rd", "Mill Ln", "Bridge St",
+    "Spring St", "Franklin Ave", "Jefferson Blvd", "Lincoln Way", "Madison Ct",
+]
+
+CONTINENTS = ["Africa", "Antarctica", "Asia", "Europe", "North America", "Oceania", "South America"]
+
+REGIONS = [
+    "North", "South", "East", "West", "Northeast", "Northwest", "Southeast", "Southwest",
+    "Central", "EMEA", "APAC", "LATAM", "NA", "Midwest", "Benelux", "Nordics", "DACH",
+]
+
+PRODUCTS = [
+    "Wireless Mouse", "Mechanical Keyboard", "USB-C Hub", "Laptop Stand", "Monitor 27in",
+    "Noise Cancelling Headphones", "Webcam HD", "External SSD 1TB", "Desk Lamp",
+    "Office Chair", "Standing Desk", "Phone Case", "Screen Protector", "Power Bank",
+    "Bluetooth Speaker", "Smart Watch", "Fitness Tracker", "Tablet 10in", "E-Reader",
+    "Coffee Maker", "Espresso Machine", "Electric Kettle", "Blender", "Air Fryer",
+    "Vacuum Cleaner", "Robot Vacuum", "Air Purifier", "Humidifier", "Space Heater",
+    "Running Shoes", "Yoga Mat", "Dumbbell Set", "Resistance Bands", "Water Bottle",
+    "Backpack", "Travel Mug", "Notebook A5", "Ballpoint Pens", "Sticky Notes",
+    "Printer Paper", "Ink Cartridge", "HDMI Cable", "Ethernet Cable", "Surge Protector",
+    "Graphics Card", "RAM 16GB", "CPU Cooler", "Motherboard", "Power Supply 650W",
+]
+
+PRODUCT_CATEGORIES = [
+    "Electronics", "Office Supplies", "Furniture", "Home Appliances", "Sports & Outdoors",
+    "Clothing", "Footwear", "Kitchen", "Health & Beauty", "Toys & Games", "Books",
+    "Groceries", "Automotive", "Garden", "Pet Supplies", "Software", "Hardware",
+    "Accessories", "Stationery", "Lighting",
+]
+
+BRANDS = [
+    "Norvex", "Altura", "Zenwell", "Kitero", "Bravona", "Luxar", "Omnitech", "Pinefield",
+    "Quantex", "Solaria", "Tervo", "Ultrix", "Vantage", "Westmark", "Xylon", "Yonder",
+    "Zephyr", "Arclight", "Boreal", "Cascade", "Dynamo", "Everest", "Fulcrum", "Glacier",
+]
+
+CURRENCY_CODES = [
+    "USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY", "INR", "BRL",
+    "MXN", "KRW", "SEK", "NOK", "DKK", "PLN", "TRY", "ZAR", "SGD", "HKD",
+]
+
+CURRENCY_SYMBOLS = ["$", "€", "£", "¥"]
+
+PAYMENT_METHODS = [
+    "Credit Card", "Debit Card", "PayPal", "Bank Transfer", "Wire Transfer", "Cash",
+    "Check", "Apple Pay", "Google Pay", "Invoice", "Direct Debit", "Gift Card",
+]
+
+SHIPPING_METHODS = [
+    "Standard", "Express", "Overnight", "Two-Day", "Ground", "Same Day",
+    "Economy", "Freight", "Pickup", "International Priority",
+]
+
+STATUSES = [
+    "Active", "Inactive", "Pending", "Completed", "Cancelled", "Shipped", "Delivered",
+    "Processing", "On Hold", "Returned", "Approved", "Rejected", "Open", "Closed",
+    "In Progress", "Failed", "Refunded", "Draft", "Archived", "New",
+]
+
+PRIORITIES = ["Low", "Medium", "High", "Critical", "Urgent", "P1", "P2", "P3", "P4"]
+
+GENDERS = ["Male", "Female", "Non-binary", "M", "F", "Other", "Prefer not to say"]
+
+MARITAL_STATUSES = ["Single", "Married", "Divorced", "Widowed", "Separated", "Domestic Partnership"]
+
+BLOOD_TYPES = ["A+", "A-", "B+", "B-", "AB+", "AB-", "O+", "O-"]
+
+DIAGNOSES = [
+    "Hypertension", "Type 2 Diabetes", "Asthma", "Migraine", "Influenza", "Bronchitis",
+    "Pneumonia", "Anemia", "Hypothyroidism", "Arthritis", "Allergic Rhinitis",
+    "Gastritis", "Anxiety Disorder", "Depression", "Eczema", "Sinusitis",
+    "Hyperlipidemia", "Osteoporosis", "Chronic Kidney Disease", "Atrial Fibrillation",
+]
+
+MEDICATIONS = [
+    "Lisinopril", "Metformin", "Albuterol", "Sumatriptan", "Oseltamivir", "Amoxicillin",
+    "Azithromycin", "Ferrous Sulfate", "Levothyroxine", "Ibuprofen", "Loratadine",
+    "Omeprazole", "Sertraline", "Fluoxetine", "Hydrocortisone", "Atorvastatin",
+    "Simvastatin", "Alendronate", "Losartan", "Warfarin", "Aspirin", "Paracetamol",
+]
+
+DOSAGE_UNITS = ["mg", "mcg", "ml", "g", "units", "mg/ml", "tablets"]
+
+STOCK_SYMBOLS = [
+    "AAPL", "MSFT", "GOOG", "AMZN", "TSLA", "META", "NVDA", "JPM", "V", "JNJ",
+    "WMT", "PG", "UNH", "HD", "MA", "DIS", "BAC", "XOM", "PFE", "KO",
+    "CSCO", "ORCL", "INTC", "IBM", "CRM", "ADBE", "NFLX", "PYPL", "ABNB", "UBER",
+]
+
+LANGUAGES = [
+    ("English", "en"), ("Dutch", "nl"), ("German", "de"), ("French", "fr"),
+    ("Spanish", "es"), ("Italian", "it"), ("Portuguese", "pt"), ("Japanese", "ja"),
+    ("Chinese", "zh"), ("Korean", "ko"), ("Russian", "ru"), ("Arabic", "ar"),
+    ("Hindi", "hi"), ("Turkish", "tr"), ("Polish", "pl"), ("Swedish", "sv"),
+    ("Norwegian", "no"), ("Danish", "da"), ("Finnish", "fi"), ("Greek", "el"),
+]
+
+LANGUAGE_NAMES = [entry[0] for entry in LANGUAGES]
+LANGUAGE_CODES = [entry[1] for entry in LANGUAGES]
+
+COLORS = [
+    "Red", "Blue", "Green", "Yellow", "Orange", "Purple", "Black", "White", "Gray",
+    "Pink", "Brown", "Cyan", "Magenta", "Teal", "Navy", "Maroon", "Olive", "Silver",
+    "Gold", "Beige", "Turquoise", "Lavender", "Crimson", "Indigo",
+]
+
+MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June", "July", "August",
+    "September", "October", "November", "December",
+]
+
+MONTH_ABBREVIATIONS = [name[:3] for name in MONTH_NAMES]
+
+WEEKDAYS = ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+
+WEEKDAY_ABBREVIATIONS = [name[:3] for name in WEEKDAYS]
+
+QUARTERS = ["Q1", "Q2", "Q3", "Q4", "Q1 2023", "Q2 2023", "Q3 2023", "Q4 2023", "FY24 Q1", "FY24 Q2"]
+
+EMAIL_DOMAINS = [
+    "gmail.com", "yahoo.com", "outlook.com", "hotmail.com", "icloud.com",
+    "protonmail.com", "example.com", "company.com", "acme.org", "mail.net",
+]
+
+TOP_LEVEL_DOMAINS = ["com", "org", "net", "io", "co", "ai", "dev", "app", "eu", "nl"]
+
+DOMAIN_WORDS = [
+    "data", "cloud", "tech", "soft", "micro", "meta", "alpha", "delta", "nova", "prime",
+    "apex", "core", "flux", "grid", "hub", "lab", "link", "loop", "node", "edge",
+    "pulse", "shift", "spark", "stack", "stream", "sync", "wave", "zen", "bolt", "forge",
+]
+
+MIME_TYPES = [
+    "text/csv", "text/plain", "text/html", "application/json", "application/pdf",
+    "application/xml", "application/zip", "image/png", "image/jpeg", "image/gif",
+    "video/mp4", "audio/mpeg", "application/vnd.ms-excel",
+    "application/vnd.openxmlformats-officedocument.spreadsheetml.sheet",
+]
+
+FILE_EXTENSIONS = ["csv", "txt", "pdf", "xlsx", "json", "xml", "png", "jpg", "docx", "pptx", "zip", "log"]
+
+FILE_WORDS = [
+    "report", "invoice", "summary", "data", "export", "backup", "notes", "draft",
+    "final", "budget", "forecast", "analysis", "presentation", "contract", "readme",
+]
+
+USER_AGENTS = [
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 Chrome/120.0 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 13_2) AppleWebKit/605.1.15 Version/16.3 Safari/605.1.15",
+    "Mozilla/5.0 (X11; Linux x86_64) Gecko/20100101 Firefox/121.0",
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 17_1 like Mac OS X) AppleWebKit/605.1.15 Mobile/15E148",
+    "Mozilla/5.0 (Linux; Android 14; Pixel 8) AppleWebKit/537.36 Chrome/120.0 Mobile Safari/537.36",
+    "curl/8.4.0",
+    "python-requests/2.31.0",
+    "PostmanRuntime/7.36.0",
+]
+
+URL_PATHS = [
+    "index.html", "products", "about", "contact", "pricing", "blog/post-1", "docs/api",
+    "login", "signup", "dashboard", "settings", "search?q=table", "category/electronics",
+    "item/1234", "cart", "checkout", "faq", "terms", "privacy", "careers",
+]
+
+GRADE_LETTERS = ["A", "A-", "B+", "B", "B-", "C+", "C", "D", "F", "Pass", "Fail"]
+
+BOOLEAN_PAIRS = [
+    ("true", "false"), ("True", "False"), ("TRUE", "FALSE"), ("yes", "no"),
+    ("Yes", "No"), ("Y", "N"), ("1", "0"), ("t", "f"),
+]
+
+UNITS_WEIGHT = ["kg", "lbs", "g", "t"]
+UNITS_HEIGHT = ["cm", "m", "in", "ft"]
+UNITS_DISTANCE = ["km", "mi", "m", "miles"]
+UNITS_TEMPERATURE = ["°C", "°F", "C", "F"]
+
+VERSION_PREFIXES = ["v", "", "release-", "build "]
+
+STREET_TYPES = ["St", "Ave", "Blvd", "Dr", "Ln", "Rd", "Way", "Ct", "Pl"]

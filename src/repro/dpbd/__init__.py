@@ -1,0 +1,37 @@
+"""Data programming by demonstration (DPBD): feedback events, labeling
+function inference, label models, weak-label generation, and the session loop
+that ties them together (Fig. 3 / Section 4.2)."""
+
+from repro.dpbd.data_generator import WeakLabel, WeakLabelingConfig, generate_weak_labels
+from repro.dpbd.feedback import (
+    ColumnRelabel,
+    ExplicitApproval,
+    FeedbackEvent,
+    FeedbackLog,
+    ImplicitApproval,
+)
+from repro.dpbd.label_model import (
+    AgreementWeightedLabelModel,
+    LabelModel,
+    MajorityVoteLabelModel,
+)
+from repro.dpbd.lf_inference import LFInferenceConfig, infer_labeling_functions
+from repro.dpbd.session import AdaptationUpdate, DPBDSession
+
+__all__ = [
+    "ColumnRelabel",
+    "ExplicitApproval",
+    "ImplicitApproval",
+    "FeedbackEvent",
+    "FeedbackLog",
+    "LFInferenceConfig",
+    "infer_labeling_functions",
+    "LabelModel",
+    "MajorityVoteLabelModel",
+    "AgreementWeightedLabelModel",
+    "WeakLabel",
+    "WeakLabelingConfig",
+    "generate_weak_labels",
+    "AdaptationUpdate",
+    "DPBDSession",
+]

@@ -1,0 +1,114 @@
+"""Weak-label generation from the source corpus (Fig. 3, steps ③ and ④).
+
+Once labeling functions have been inferred for a new or corrected type, DPBD
+"uses the LFs to extract customized training data from the source corpus into
+customized weakly labeled training data" for that type.  This module scans a
+corpus, applies the labeling functions through a label model, and returns the
+columns whose weak-label score clears a threshold, as ``(column, table,
+label, confidence)`` examples ready for finetuning the local model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+from repro.dpbd.label_model import LabelModel, MajorityVoteLabelModel
+from repro.lookup.labeling_functions import LabelingFunction
+
+__all__ = ["WeakLabel", "WeakLabelingConfig", "generate_weak_labels"]
+
+
+@dataclass(frozen=True)
+class WeakLabel:
+    """One weakly labeled training example extracted from the corpus."""
+
+    column: Column
+    table: Table | None
+    label: str
+    confidence: float
+    source_table_name: str = ""
+
+    def as_training_example(self) -> tuple[Column, Table | None, str]:
+        """The ``(column, table, label)`` triple consumed by finetuning."""
+        return (self.column, self.table, self.label)
+
+
+@dataclass
+class WeakLabelingConfig:
+    """Parameters of the weak-label extraction pass."""
+
+    #: Minimum combined LF score for a column to become a training example.
+    min_confidence: float = 0.5
+    #: At most this many examples are kept per target type (best first).
+    max_examples_per_type: int = 200
+    #: Skip columns that already carry a ground-truth label for another type.
+    respect_existing_labels: bool = True
+
+    def validate(self) -> None:
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise ConfigurationError("min_confidence must be in [0, 1]")
+        if self.max_examples_per_type < 1:
+            raise ConfigurationError("max_examples_per_type must be >= 1")
+
+
+def generate_weak_labels(
+    corpus: TableCorpus,
+    functions: Sequence[LabelingFunction],
+    label_model: LabelModel | None = None,
+    config: WeakLabelingConfig | None = None,
+) -> list[WeakLabel]:
+    """Extract weakly labeled columns from *corpus* using *functions*.
+
+    Parameters
+    ----------
+    corpus:
+        The source corpus to mine (the paper mines the GitTables pretraining
+        corpus; customers could equally point this at their own warehouse).
+    functions:
+        Labeling functions, typically the output of
+        :func:`repro.dpbd.lf_inference.infer_labeling_functions`.
+    label_model:
+        How LF votes are combined; defaults to the weighted majority vote.
+    """
+    config = config or WeakLabelingConfig()
+    config.validate()
+    if not functions:
+        return []
+    label_model = label_model or MajorityVoteLabelModel()
+
+    entries = list(corpus.columns())
+    columns = [(entry.column, entry.table) for entry in entries]
+    distributions = label_model.label_distributions(functions, columns)
+
+    by_type: dict[str, list[WeakLabel]] = {}
+    for entry, distribution in zip(entries, distributions):
+        if not distribution:
+            continue
+        label, confidence = max(distribution.items(), key=lambda item: item[1])
+        if confidence < config.min_confidence:
+            continue
+        if (
+            config.respect_existing_labels
+            and entry.label is not None
+            and entry.label != label
+        ):
+            continue
+        by_type.setdefault(label, []).append(
+            WeakLabel(
+                column=entry.column,
+                table=entry.table,
+                label=label,
+                confidence=confidence,
+                source_table_name=entry.table.name,
+            )
+        )
+
+    selected: list[WeakLabel] = []
+    for label, weak_labels in by_type.items():
+        weak_labels.sort(key=lambda example: -example.confidence)
+        selected.extend(weak_labels[: config.max_examples_per_type])
+    return selected

@@ -1,0 +1,156 @@
+"""User feedback events for data programming by demonstration.
+
+Section 4.2 of the paper: the user's feedback may be *explicit* (relabelling a
+column, as in Fig. 3 where "Income" is corrected from ``revenue`` to
+``salary``) or *implicit* (leaving the remaining predictions as-is and
+continuing the analysis, which the system interprets as approval).  The
+product UI is out of scope here; these dataclasses are the programmatic
+contract a UI (or a test, or an example script) uses to deliver feedback.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.errors import FeedbackError
+from repro.core.table import Column, Table
+
+__all__ = ["ColumnRelabel", "ImplicitApproval", "ExplicitApproval", "FeedbackEvent", "FeedbackLog"]
+
+_EVENT_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ColumnRelabel:
+    """Explicit feedback: the user corrected a column's predicted type."""
+
+    table: Table
+    column_name: str
+    corrected_type: str
+    previous_type: str | None = None
+    event_id: int = field(default_factory=lambda: next(_EVENT_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.corrected_type:
+            raise FeedbackError("a relabel needs a corrected semantic type")
+        if self.column_name not in self.table:
+            raise FeedbackError(
+                f"column {self.column_name!r} does not exist in table {self.table.name!r}"
+            )
+
+    @property
+    def column(self) -> Column:
+        """The column the feedback refers to."""
+        return self.table.column(self.column_name)
+
+    @property
+    def kind(self) -> str:
+        return "relabel"
+
+
+@dataclass(frozen=True)
+class ExplicitApproval:
+    """Explicit feedback: the user confirmed a predicted type is correct."""
+
+    table: Table
+    column_name: str
+    approved_type: str
+    event_id: int = field(default_factory=lambda: next(_EVENT_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.approved_type:
+            raise FeedbackError("an approval needs the approved semantic type")
+        if self.column_name not in self.table:
+            raise FeedbackError(
+                f"column {self.column_name!r} does not exist in table {self.table.name!r}"
+            )
+
+    @property
+    def column(self) -> Column:
+        """The column the feedback refers to."""
+        return self.table.column(self.column_name)
+
+    @property
+    def kind(self) -> str:
+        return "approval"
+
+
+@dataclass(frozen=True)
+class ImplicitApproval:
+    """Implicit feedback: the user kept a prediction and moved on.
+
+    Carries the same information as :class:`ExplicitApproval` but is treated
+    with lower weight by the adaptation logic, since the user never actively
+    confirmed the label.
+    """
+
+    table: Table
+    column_name: str
+    approved_type: str
+    event_id: int = field(default_factory=lambda: next(_EVENT_COUNTER))
+
+    def __post_init__(self) -> None:
+        if not self.approved_type:
+            raise FeedbackError("an implicit approval needs the kept semantic type")
+        if self.column_name not in self.table:
+            raise FeedbackError(
+                f"column {self.column_name!r} does not exist in table {self.table.name!r}"
+            )
+
+    @property
+    def column(self) -> Column:
+        """The column the feedback refers to."""
+        return self.table.column(self.column_name)
+
+    @property
+    def kind(self) -> str:
+        return "implicit_approval"
+
+
+FeedbackEvent = ColumnRelabel | ExplicitApproval | ImplicitApproval
+
+
+class FeedbackLog:
+    """Ordered record of the feedback a customer has provided."""
+
+    def __init__(self) -> None:
+        self._events: list[FeedbackEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FeedbackEvent]:
+        return iter(self._events)
+
+    def record(self, event: FeedbackEvent) -> None:
+        """Append an event to the log."""
+        self._events.append(event)
+
+    def relabels(self) -> list[ColumnRelabel]:
+        """All explicit corrections, in order."""
+        return [event for event in self._events if isinstance(event, ColumnRelabel)]
+
+    def approvals(self) -> list[ExplicitApproval | ImplicitApproval]:
+        """All approvals (explicit and implicit), in order."""
+        return [
+            event for event in self._events
+            if isinstance(event, (ExplicitApproval, ImplicitApproval))
+        ]
+
+    def events_for_type(self, semantic_type: str) -> list[FeedbackEvent]:
+        """Events whose (corrected or approved) type equals *semantic_type*."""
+        matched = []
+        for event in self._events:
+            label = getattr(event, "corrected_type", None) or getattr(event, "approved_type", None)
+            if label == semantic_type:
+                matched.append(event)
+        return matched
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -1,0 +1,192 @@
+"""Label models for combining weak labeling-function votes.
+
+Data programming (Ratner et al., cited by the paper) combines the noisy votes
+of many labeling functions into probabilistic training labels.  Two label
+models are provided:
+
+* :class:`MajorityVoteLabelModel` — the weighted soft majority vote: each LF
+  contributes its confidence, scaled by its weight, to its target type.
+* :class:`AgreementWeightedLabelModel` — re-estimates each LF's reliability
+  from how often it agrees with its peers (a lightweight, EM-flavoured
+  approximation of the Snorkel generative model), then applies the weighted
+  vote with the learned reliabilities.
+
+Both return, per column, a distribution over candidate types that the weak
+label generator thresholds into training examples.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column, Table
+from repro.lookup.labeling_functions import LabelingFunction, LFContext
+
+__all__ = ["LabelModel", "MajorityVoteLabelModel", "AgreementWeightedLabelModel"]
+
+
+@dataclass(frozen=True)
+class _VoteMatrix:
+    """Raw LF outputs for a batch of columns: ``votes[i][j]`` is LF *j* on column *i*."""
+
+    votes: list[list[float]]
+    functions: list[LabelingFunction]
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.votes)
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+
+def _build_vote_matrix(
+    functions: Sequence[LabelingFunction],
+    columns: Sequence[tuple[Column, Table | None]],
+) -> _VoteMatrix:
+    votes = []
+    for column, table in columns:
+        context = LFContext(table=table)
+        votes.append([function.apply(column, context) for function in functions])
+    return _VoteMatrix(votes=votes, functions=list(functions))
+
+
+class LabelModel(ABC):
+    """Combines labeling-function outputs into per-type label distributions."""
+
+    @abstractmethod
+    def label_distributions(
+        self,
+        functions: Sequence[LabelingFunction],
+        columns: Sequence[tuple[Column, Table | None]],
+    ) -> list[dict[str, float]]:
+        """Per column, a ``{type: probability-like score}`` distribution."""
+
+    def label_column(
+        self,
+        functions: Sequence[LabelingFunction],
+        column: Column,
+        table: Table | None = None,
+    ) -> dict[str, float]:
+        """Convenience wrapper for a single column."""
+        return self.label_distributions(functions, [(column, table)])[0]
+
+
+class MajorityVoteLabelModel(LabelModel):
+    """Weight-scaled soft majority vote over the LF confidences.
+
+    Following data-programming semantics, a labeling function that outputs
+    0.0 *abstains* rather than votes against: only firing functions enter the
+    per-type average, so a single decisive rule (e.g. an exact header match)
+    is not diluted by unrelated rules that simply do not apply to the column.
+    """
+
+    def label_distributions(
+        self,
+        functions: Sequence[LabelingFunction],
+        columns: Sequence[tuple[Column, Table | None]],
+    ) -> list[dict[str, float]]:
+        if not functions:
+            return [{} for _ in columns]
+        matrix = _build_vote_matrix(functions, columns)
+        distributions = []
+        for row in matrix.votes:
+            totals: dict[str, float] = {}
+            weights: dict[str, float] = {}
+            for function, vote in zip(matrix.functions, row):
+                if vote <= 0.0:
+                    continue
+                totals[function.target_type] = totals.get(function.target_type, 0.0) + function.weight * vote
+                weights[function.target_type] = weights.get(function.target_type, 0.0) + function.weight
+            distributions.append(
+                {
+                    type_name: totals[type_name] / weights[type_name]
+                    for type_name in totals
+                    if weights[type_name] > 0
+                }
+            )
+        return distributions
+
+
+class AgreementWeightedLabelModel(LabelModel):
+    """Majority vote with LF reliabilities estimated from pairwise agreement.
+
+    Each labeling function's reliability is estimated as the average
+    agreement of its firing decisions with the other functions that target
+    the same type (functions that fire when their peers fire are deemed more
+    reliable), smoothed towards 1.0 so lone functions are not penalised.
+    """
+
+    def __init__(self, smoothing: float = 0.5, iterations: int = 2):
+        if not 0.0 <= smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in [0, 1]")
+        if iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        self.smoothing = smoothing
+        self.iterations = iterations
+        #: Reliability per LF name after the last call (exposed for inspection).
+        self.last_reliabilities: dict[str, float] = {}
+
+    def label_distributions(
+        self,
+        functions: Sequence[LabelingFunction],
+        columns: Sequence[tuple[Column, Table | None]],
+    ) -> list[dict[str, float]]:
+        if not functions:
+            return [{} for _ in columns]
+        matrix = _build_vote_matrix(functions, columns)
+        reliabilities = [1.0] * matrix.num_functions
+
+        for _ in range(self.iterations):
+            reliabilities = self._update_reliabilities(matrix, reliabilities)
+
+        self.last_reliabilities = {
+            function.name: reliability
+            for function, reliability in zip(matrix.functions, reliabilities)
+        }
+
+        distributions = []
+        for row in matrix.votes:
+            totals: dict[str, float] = {}
+            weights: dict[str, float] = {}
+            for function, vote, reliability in zip(matrix.functions, row, reliabilities):
+                if vote <= 0.0:
+                    continue
+                effective_weight = function.weight * reliability
+                totals[function.target_type] = totals.get(function.target_type, 0.0) + effective_weight * vote
+                weights[function.target_type] = weights.get(function.target_type, 0.0) + effective_weight
+            distributions.append(
+                {
+                    type_name: totals[type_name] / weights[type_name]
+                    for type_name in totals
+                    if weights[type_name] > 0
+                }
+            )
+        return distributions
+
+    def _update_reliabilities(self, matrix: _VoteMatrix, current: list[float]) -> list[float]:
+        fired = [[vote >= 0.5 for vote in row] for row in matrix.votes]
+        updated = []
+        for j, function in enumerate(matrix.functions):
+            peers = [
+                k for k, other in enumerate(matrix.functions)
+                if k != j and other.target_type == function.target_type
+            ]
+            if not peers or matrix.num_columns == 0:
+                updated.append(1.0)
+                continue
+            agreements = []
+            for i in range(matrix.num_columns):
+                peer_votes = [fired[i][k] for k in peers]
+                if not any(peer_votes) and not fired[i][j]:
+                    continue
+                agreement = sum(1 for vote in peer_votes if vote == fired[i][j]) / len(peer_votes)
+                agreements.append(agreement)
+            raw = sum(agreements) / len(agreements) if agreements else 1.0
+            updated.append(self.smoothing * 1.0 + (1.0 - self.smoothing) * raw)
+        del current
+        return updated

@@ -1,0 +1,132 @@
+"""DPBD session: feedback in, labeling functions and training data out.
+
+This module wires the DPBD pieces together into the loop of Fig. 3: a
+feedback event (explicit relabel or approval) is profiled into labeling
+functions, the labeling functions mine the source corpus for weakly labeled
+training data, and the caller (a customer's local model) receives both as an
+:class:`AdaptationUpdate` to apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.collection import TableCorpus
+from repro.dpbd.data_generator import WeakLabel, WeakLabelingConfig, generate_weak_labels
+from repro.dpbd.feedback import (
+    ColumnRelabel,
+    ExplicitApproval,
+    FeedbackEvent,
+    FeedbackLog,
+    ImplicitApproval,
+)
+from repro.dpbd.label_model import AgreementWeightedLabelModel, LabelModel
+from repro.dpbd.lf_inference import LFInferenceConfig, infer_labeling_functions
+from repro.lookup.labeling_functions import LabelingFunction
+
+__all__ = ["AdaptationUpdate", "DPBDSession"]
+
+
+@dataclass
+class AdaptationUpdate:
+    """Everything produced from one feedback event.
+
+    The local model applies this update by adding the labeling functions to
+    its store, adding the demonstration column and weak labels to its
+    training data, and bumping its per-type weight.
+    """
+
+    event: FeedbackEvent
+    target_type: str
+    labeling_functions: list[LabelingFunction] = field(default_factory=list)
+    weak_labels: list[WeakLabel] = field(default_factory=list)
+
+    @property
+    def num_training_examples(self) -> int:
+        """Weak labels plus the demonstration column itself."""
+        return len(self.weak_labels) + 1
+
+    def training_examples(self) -> list[tuple]:
+        """``(column, table, label)`` triples: the demonstration plus weak labels."""
+        demonstration = (self.event.column, self.event.table, self.target_type)
+        return [demonstration] + [weak.as_training_example() for weak in self.weak_labels]
+
+
+class DPBDSession:
+    """Per-customer data-programming-by-demonstration loop."""
+
+    def __init__(
+        self,
+        source_corpus: TableCorpus | None = None,
+        lf_config: LFInferenceConfig | None = None,
+        weak_label_config: WeakLabelingConfig | None = None,
+        label_model: LabelModel | None = None,
+    ) -> None:
+        self.source_corpus = source_corpus or TableCorpus(name="empty")
+        self.lf_config = lf_config or LFInferenceConfig()
+        self.weak_label_config = weak_label_config or WeakLabelingConfig()
+        self.label_model = label_model or AgreementWeightedLabelModel()
+        self.log = FeedbackLog()
+
+    # ---------------------------------------------------------------- feedback
+    def process(self, event: FeedbackEvent) -> AdaptationUpdate:
+        """Turn one feedback event into labeling functions and training data."""
+        self.log.record(event)
+        if isinstance(event, ColumnRelabel):
+            target_type = event.corrected_type
+        elif isinstance(event, (ExplicitApproval, ImplicitApproval)):
+            target_type = event.approved_type
+        else:  # pragma: no cover - the union type is closed
+            raise TypeError(f"unsupported feedback event {type(event).__name__}")
+
+        functions = infer_labeling_functions(
+            column=event.column,
+            target_type=target_type,
+            table=event.table,
+            config=self.lf_config,
+        )
+        # Implicit approvals are softer evidence: down-weight their rules so a
+        # user who merely did not object never outweighs one who corrected.
+        if isinstance(event, ImplicitApproval):
+            for function in functions:
+                function.weight = min(function.weight, 0.5)
+
+        weak_labels = generate_weak_labels(
+            corpus=self.source_corpus,
+            functions=functions,
+            label_model=self.label_model,
+            config=self.weak_label_config,
+        )
+        # Only keep weak labels for the type this event is about; rules for
+        # other types are owned by their own feedback events.
+        weak_labels = [weak for weak in weak_labels if weak.label == target_type]
+        return AdaptationUpdate(
+            event=event,
+            target_type=target_type,
+            labeling_functions=functions,
+            weak_labels=weak_labels,
+        )
+
+    def relabel(
+        self,
+        table,
+        column_name: str,
+        corrected_type: str,
+        previous_type: str | None = None,
+    ) -> AdaptationUpdate:
+        """Convenience wrapper: record and process an explicit correction."""
+        return self.process(
+            ColumnRelabel(
+                table=table,
+                column_name=column_name,
+                corrected_type=corrected_type,
+                previous_type=previous_type,
+            )
+        )
+
+    def approve(self, table, column_name: str, approved_type: str, implicit: bool = False) -> AdaptationUpdate:
+        """Convenience wrapper: record and process an approval."""
+        event_class = ImplicitApproval if implicit else ExplicitApproval
+        return self.process(
+            event_class(table=table, column_name=column_name, approved_type=approved_type)
+        )

@@ -1,0 +1,30 @@
+"""Learned table-embedding model: featurization, dataset assembly, the MLP
+classifier with an unknown background class, OOD detection, and the pipeline
+step wrapping it (step 3 of Fig. 4)."""
+
+from repro.embedding_model.classifier import TableEmbeddingClassifier
+from repro.embedding_model.dataset import ColumnDataset, LabelVocabulary, build_dataset
+from repro.embedding_model.features import ColumnFeaturizer, FeaturizerConfig
+from repro.embedding_model.ood import (
+    OODDetector,
+    auroc,
+    energy_score,
+    entropy_score,
+    max_softmax_score,
+)
+from repro.embedding_model.step import TableEmbeddingStep
+
+__all__ = [
+    "ColumnFeaturizer",
+    "FeaturizerConfig",
+    "LabelVocabulary",
+    "ColumnDataset",
+    "build_dataset",
+    "TableEmbeddingClassifier",
+    "TableEmbeddingStep",
+    "OODDetector",
+    "max_softmax_score",
+    "entropy_score",
+    "energy_score",
+    "auroc",
+]

@@ -1,0 +1,184 @@
+"""Dataset assembly for the learned column-type classifier.
+
+Turns annotated :class:`~repro.corpus.collection.TableCorpus` objects into
+``(features, labels)`` numpy arrays, maintaining the label vocabulary shared
+between training and inference.  Per Section 4.3 of the paper, the classifier
+is additionally trained on a *background dataset* whose columns are labeled
+with the reserved ``unknown`` type so the model learns to flag
+out-of-distribution columns instead of forcing a known label onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.table import Column, Table
+from repro.corpus.collection import TableCorpus
+from repro.embedding_model.features import ColumnFeaturizer
+
+__all__ = ["LabelVocabulary", "ColumnDataset", "build_dataset"]
+
+
+@dataclass
+class LabelVocabulary:
+    """A bidirectional mapping between semantic type names and class indices."""
+
+    types: list[str] = field(default_factory=list)
+    _index: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        deduplicated: list[str] = []
+        for type_name in self.types:
+            if type_name not in deduplicated:
+                deduplicated.append(type_name)
+        self.types = deduplicated
+        self._index = {type_name: index for index, type_name in enumerate(self.types)}
+
+    @classmethod
+    def from_labels(cls, labels: Iterable[str], include_unknown: bool = True) -> "LabelVocabulary":
+        """Build a vocabulary from observed labels (sorted for determinism)."""
+        unique = sorted({label for label in labels if label})
+        if include_unknown and UNKNOWN_TYPE not in unique:
+            unique.append(UNKNOWN_TYPE)
+        return cls(types=unique)
+
+    def __len__(self) -> int:
+        return len(self.types)
+
+    def __contains__(self, type_name: str) -> bool:
+        return type_name in self._index
+
+    def __iter__(self):
+        return iter(self.types)
+
+    def index_of(self, type_name: str) -> int:
+        """Class index of *type_name*."""
+        try:
+            return self._index[type_name]
+        except KeyError as exc:
+            raise ConfigurationError(f"label {type_name!r} is not in the vocabulary") from exc
+
+    def type_at(self, index: int) -> str:
+        """Type name of class *index*."""
+        if not 0 <= index < len(self.types):
+            raise ConfigurationError(f"class index {index} out of range")
+        return self.types[index]
+
+    @property
+    def unknown_index(self) -> int | None:
+        """Index of the reserved unknown class, if present."""
+        return self._index.get(UNKNOWN_TYPE)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation."""
+        return {"types": list(self.types)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "LabelVocabulary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(types=list(payload.get("types", [])))  # type: ignore[arg-type]
+
+
+@dataclass
+class ColumnDataset:
+    """Featurized training examples plus their provenance."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    vocabulary: LabelVocabulary
+    #: ``(table_name, column_name)`` per row, for error analysis.
+    provenance: list[tuple[str, str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def class_counts(self) -> dict[str, int]:
+        """Number of examples per semantic type."""
+        counts: dict[str, int] = {}
+        for index in self.labels:
+            type_name = self.vocabulary.type_at(int(index))
+            counts[type_name] = counts.get(type_name, 0) + 1
+        return counts
+
+    def merged_with(self, other: "ColumnDataset") -> "ColumnDataset":
+        """Concatenate two datasets that share the same vocabulary."""
+        if self.vocabulary.types != other.vocabulary.types:
+            raise ConfigurationError("cannot merge datasets with different vocabularies")
+        return ColumnDataset(
+            features=np.vstack([self.features, other.features]),
+            labels=np.concatenate([self.labels, other.labels]),
+            vocabulary=self.vocabulary,
+            provenance=self.provenance + other.provenance,
+        )
+
+
+def _iter_labeled_columns(
+    corpus: TableCorpus,
+    override_label: str | None = None,
+) -> Iterable[tuple[Column, Table, str]]:
+    for entry in corpus.columns():
+        label = override_label if override_label is not None else entry.label
+        if label is None:
+            continue
+        yield entry.column, entry.table, label
+
+
+def build_dataset(
+    corpus: TableCorpus,
+    featurizer: ColumnFeaturizer,
+    vocabulary: LabelVocabulary | None = None,
+    background_corpus: TableCorpus | None = None,
+    extra_examples: Sequence[tuple[Column, Table | None, str]] = (),
+) -> ColumnDataset:
+    """Featurize every labeled column of *corpus* into a training dataset.
+
+    Parameters
+    ----------
+    vocabulary:
+        When provided, examples whose label is outside the vocabulary are
+        mapped to the ``unknown`` class if present, otherwise dropped.  When
+        omitted, the vocabulary is built from the observed labels.
+    background_corpus:
+        Columns of this corpus are added with the ``unknown`` label — the
+        background-dataset trick the paper uses for OOD awareness.
+    extra_examples:
+        Additional ``(column, table, label)`` triples, used for the weakly
+        labeled data generated by DPBD.
+    """
+    triples = list(_iter_labeled_columns(corpus))
+    triples.extend((column, table, label) for column, table, label in extra_examples if label)
+    background_triples: list[tuple[Column, Table, str]] = []
+    if background_corpus is not None:
+        background_triples = list(_iter_labeled_columns(background_corpus, override_label=UNKNOWN_TYPE))
+
+    if vocabulary is None:
+        observed = [label for _, _, label in triples]
+        include_unknown = bool(background_triples)
+        vocabulary = LabelVocabulary.from_labels(observed, include_unknown=include_unknown)
+
+    rows: list[tuple[Column, Table | None]] = []
+    labels: list[int] = []
+    provenance: list[tuple[str, str]] = []
+    for column, table, label in triples + background_triples:
+        if label not in vocabulary:
+            if vocabulary.unknown_index is None:
+                continue
+            class_index = vocabulary.unknown_index
+        else:
+            class_index = vocabulary.index_of(label)
+        rows.append((column, table))
+        labels.append(class_index)
+        provenance.append((table.name if table is not None else "", column.name))
+
+    features = featurizer.extract_many(rows)
+    return ColumnDataset(
+        features=features,
+        labels=np.asarray(labels, dtype=np.int64),
+        vocabulary=vocabulary,
+        provenance=provenance,
+    )

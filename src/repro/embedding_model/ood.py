@@ -1,0 +1,164 @@
+"""Out-of-distribution detection for the learned classifier.
+
+Challenge 2.3 of the paper: "Upon encountering tables and labels that are far
+from the training data, the system should avoid inferring labels for it."
+SigmaTyper handles this in two complementary ways, both implemented here:
+
+* the classifier is trained with an explicit ``unknown`` background class
+  (see :mod:`repro.embedding_model.dataset`), and
+* confidence-based scores over the classifier's outputs — maximum softmax
+  probability, predictive entropy, and the energy score — are thresholded by
+  an :class:`OODDetector` calibrated on held-out in-distribution columns.
+
+The module also provides a numpy AUROC implementation used by the OOD
+benchmark (E7 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, ModelNotTrainedError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.table import Column, Table
+from repro.embedding_model.classifier import TableEmbeddingClassifier
+
+__all__ = [
+    "max_softmax_score",
+    "entropy_score",
+    "energy_score",
+    "auroc",
+    "OODDetector",
+]
+
+
+def max_softmax_score(probabilities: Sequence[float]) -> float:
+    """Maximum softmax probability; low values indicate OOD inputs."""
+    values = list(probabilities)
+    if not values:
+        return 0.0
+    return float(max(values))
+
+
+def entropy_score(probabilities: Sequence[float]) -> float:
+    """Normalised predictive entropy in ``[0, 1]``; high values indicate OOD."""
+    values = [p for p in probabilities if p > 0.0]
+    if len(values) <= 1:
+        return 0.0
+    entropy = -sum(p * math.log(p) for p in values)
+    return float(entropy / math.log(len(probabilities)))
+
+
+def energy_score(logits: Sequence[float], temperature: float = 1.0) -> float:
+    """Energy score ``-T * logsumexp(logits / T)``; high values indicate OOD."""
+    if temperature <= 0:
+        raise ConfigurationError("temperature must be positive")
+    array = np.asarray(list(logits), dtype=np.float64)
+    if array.size == 0:
+        return 0.0
+    scaled = array / temperature
+    maximum = float(scaled.max())
+    log_sum_exp = maximum + math.log(float(np.exp(scaled - maximum).sum()))
+    return float(-temperature * log_sum_exp)
+
+
+def auroc(in_distribution_scores: Iterable[float], ood_scores: Iterable[float]) -> float:
+    """Area under the ROC curve for "higher score ⇒ more out-of-distribution".
+
+    Computed with the Mann–Whitney U statistic (ties counted as half).
+    Returns 0.5 when either side is empty.
+    """
+    positives = np.asarray(list(ood_scores), dtype=np.float64)
+    negatives = np.asarray(list(in_distribution_scores), dtype=np.float64)
+    if positives.size == 0 or negatives.size == 0:
+        return 0.5
+    greater = (positives[:, None] > negatives[None, :]).sum()
+    ties = (positives[:, None] == negatives[None, :]).sum()
+    return float((greater + 0.5 * ties) / (positives.size * negatives.size))
+
+
+@dataclass
+class _Calibration:
+    method: str
+    threshold: float
+
+
+class OODDetector:
+    """Flags columns the learned classifier should not label.
+
+    The detector combines the classifier's own ``unknown`` class with a
+    thresholded confidence score.  The threshold is calibrated from held-out
+    in-distribution columns so that a target fraction of them (default 95%)
+    is accepted, mirroring the usual TPR-at-95 convention.
+    """
+
+    METHODS = ("max_softmax", "entropy", "energy")
+
+    def __init__(
+        self,
+        classifier: TableEmbeddingClassifier,
+        method: str = "max_softmax",
+        accept_fraction: float = 0.95,
+    ) -> None:
+        if method not in self.METHODS:
+            raise ConfigurationError(f"unknown OOD method {method!r}; expected one of {self.METHODS}")
+        if not 0.5 <= accept_fraction < 1.0:
+            raise ConfigurationError("accept_fraction must be in [0.5, 1)")
+        self.classifier = classifier
+        self.method = method
+        self.accept_fraction = accept_fraction
+        self._calibration: _Calibration | None = None
+
+    # ------------------------------------------------------------------ scores
+    def score(self, column: Column, table: Table | None = None) -> float:
+        """The OOD score of one column (higher ⇒ more out-of-distribution)."""
+        if not self.classifier.is_fitted:
+            raise ModelNotTrainedError("the underlying classifier is not fitted")
+        if self.method == "energy":
+            return energy_score(self.classifier.predict_logits(column, table))
+        probabilities = self.classifier.predict_proba(column, table)
+        values = list(probabilities.values())
+        if self.method == "max_softmax":
+            # Negated so that "higher means more OOD" holds for every method.
+            return 1.0 - max_softmax_score(values)
+        return entropy_score(values)
+
+    # -------------------------------------------------------------- calibration
+    def calibrate(self, columns: Sequence[tuple[Column, Table | None]]) -> float:
+        """Choose the threshold from in-distribution validation columns.
+
+        The threshold is set at the ``accept_fraction`` quantile of the
+        in-distribution scores, so that fraction of known-good columns stays
+        accepted.  Returns the chosen threshold.
+        """
+        if not columns:
+            raise ConfigurationError("calibration needs at least one in-distribution column")
+        scores = sorted(self.score(column, table) for column, table in columns)
+        index = min(int(math.ceil(self.accept_fraction * len(scores))) - 1, len(scores) - 1)
+        threshold = scores[max(index, 0)]
+        self._calibration = _Calibration(method=self.method, threshold=threshold)
+        return threshold
+
+    @property
+    def threshold(self) -> float | None:
+        """The calibrated threshold, or ``None`` before calibration."""
+        return self._calibration.threshold if self._calibration else None
+
+    # --------------------------------------------------------------- decisions
+    def is_out_of_distribution(self, column: Column, table: Table | None = None) -> bool:
+        """Whether the detector recommends abstaining for *column*.
+
+        A column is flagged when the classifier's own top prediction is the
+        ``unknown`` background class, or when its OOD score exceeds the
+        calibrated threshold (if calibration has been performed).
+        """
+        predicted = self.classifier.predict_type(column, table)
+        if predicted == UNKNOWN_TYPE:
+            return True
+        if self._calibration is None:
+            return False
+        return self.score(column, table) > self._calibration.threshold

@@ -1,0 +1,44 @@
+"""Table-embedding pipeline step (step 3 of Fig. 4).
+
+The slowest, highest-coverage step of the cascade: it wraps a trained
+:class:`~repro.embedding_model.classifier.TableEmbeddingClassifier` and is
+only executed for the columns whose confidence from header matching and value
+lookup stayed below the cascade threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ModelNotTrainedError
+from repro.core.pipeline import PipelineStep
+from repro.core.prediction import TypeScore
+from repro.core.table import Table
+from repro.embedding_model.classifier import TableEmbeddingClassifier
+
+__all__ = ["TableEmbeddingStep"]
+
+
+class TableEmbeddingStep(PipelineStep):
+    """Learned model over column features and table context."""
+
+    name = "table_embedding"
+    cost_rank = 2
+
+    def __init__(self, classifier: TableEmbeddingClassifier, top_k: int = 5) -> None:
+        if not classifier.is_fitted:
+            raise ModelNotTrainedError(
+                "TableEmbeddingStep requires an already-trained TableEmbeddingClassifier"
+            )
+        self.classifier = classifier
+        self.top_k = top_k
+
+    def predict_columns(
+        self, table: Table, column_indices: Sequence[int] | None = None
+    ) -> dict[int, list[TypeScore]]:
+        """Predict ranked candidates for the addressed columns of *table*."""
+        indices = range(table.num_columns) if column_indices is None else column_indices
+        return {
+            index: self.classifier.predict_column(table.columns[index], table, top_k=self.top_k)
+            for index in indices
+        }

@@ -1,0 +1,28 @@
+"""Evaluation: precision/coverage metrics, the experiment harness, and
+plain-text report rendering."""
+
+from repro.evaluation.harness import (
+    EvaluationResult,
+    evaluate_annotator,
+    precision_coverage_curve,
+)
+from repro.evaluation.metrics import (
+    EvaluationMetrics,
+    PredictionRecord,
+    TypeMetrics,
+    evaluate_records,
+)
+from repro.evaluation.reports import format_kv, format_table, print_table
+
+__all__ = [
+    "PredictionRecord",
+    "TypeMetrics",
+    "EvaluationMetrics",
+    "evaluate_records",
+    "EvaluationResult",
+    "evaluate_annotator",
+    "precision_coverage_curve",
+    "format_table",
+    "format_kv",
+    "print_table",
+]

@@ -1,0 +1,154 @@
+"""Experiment harness: run any annotator over a corpus and score it.
+
+An *annotator* is anything that turns a :class:`~repro.core.table.Table` into
+a :class:`~repro.core.prediction.TablePrediction`: the SigmaTyper facade, the
+raw global pipeline, a baseline detector, or a plain callable.  The harness
+collects :class:`~repro.evaluation.metrics.PredictionRecord` objects for every
+gold-labelled column and returns aggregate metrics, keeping all experiment
+code (benchmarks, examples, tests) free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, Sequence
+
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.prediction import TablePrediction
+from repro.core.table import Table
+from repro.corpus.collection import TableCorpus
+from repro.evaluation.metrics import EvaluationMetrics, PredictionRecord, evaluate_records
+
+__all__ = ["Annotator", "EvaluationResult", "evaluate_annotator", "precision_coverage_curve"]
+
+
+class Annotator(Protocol):
+    """Anything that can annotate a table."""
+
+    def annotate(self, table: Table) -> TablePrediction:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics plus run metadata for one (annotator, corpus) evaluation."""
+
+    name: str
+    metrics: EvaluationMetrics
+    wall_seconds: float
+    tables: int
+    #: Per-pipeline-step column counts accumulated over the run (cascade trace).
+    step_trace: dict[str, int] = field(default_factory=dict)
+    #: Per-pipeline-step seconds accumulated over the run.
+    step_seconds: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> dict[str, object]:
+        """Headline metrics plus throughput."""
+        columns_per_second = (
+            self.metrics.total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        )
+        return {
+            "system": self.name,
+            **self.metrics.summary(),
+            "wall_seconds": round(self.wall_seconds, 3),
+            "columns_per_second": round(columns_per_second, 1),
+        }
+
+
+def _resolve_annotate(annotator: Annotator | Callable[[Table], TablePrediction]):
+    if callable(annotator) and not hasattr(annotator, "annotate"):
+        return annotator
+    return annotator.annotate  # type: ignore[union-attr]
+
+
+def evaluate_annotator(
+    annotator: Annotator | Callable[[Table], TablePrediction],
+    corpus: TableCorpus,
+    name: str = "system",
+    skip_ood_gold: bool = False,
+) -> EvaluationResult:
+    """Annotate every table of *corpus* and score against its gold labels.
+
+    Parameters
+    ----------
+    skip_ood_gold:
+        When true, columns whose gold label is prefixed ``ood:`` (produced by
+        the OOD corpus builder) are excluded — used by experiments that only
+        measure in-distribution accuracy.  When false, such columns count as
+        correctly handled only if the system abstained (predicting any
+        concrete type for them is a false positive), which is how the OOD
+        benchmark scores abstention behaviour.
+    """
+    annotate = _resolve_annotate(annotator)
+    records: list[PredictionRecord] = []
+    step_trace: dict[str, int] = {}
+    step_seconds: dict[str, float] = {}
+    started = time.perf_counter()
+    for table in corpus:
+        prediction = annotate(table)
+        for step, count in prediction.step_trace.items():
+            step_trace[step] = step_trace.get(step, 0) + count
+        for step, seconds in prediction.step_seconds.items():
+            step_seconds[step] = step_seconds.get(step, 0.0) + seconds
+        for column, column_prediction in zip(table.columns, prediction.columns):
+            gold = column.semantic_type
+            if gold is None:
+                continue
+            if gold.startswith("ood:"):
+                if skip_ood_gold:
+                    continue
+                # For OOD gold columns the desired behaviour is abstention.
+                gold = UNKNOWN_TYPE
+            records.append(
+                PredictionRecord(
+                    gold_type=gold,
+                    predicted_type=(
+                        UNKNOWN_TYPE if column_prediction.abstained else column_prediction.predicted_type
+                    ),
+                    confidence=column_prediction.confidence,
+                    abstained=column_prediction.abstained,
+                    table_name=table.name,
+                    column_name=column.name,
+                )
+            )
+    elapsed = time.perf_counter() - started
+    metrics = evaluate_records(
+        [record for record in records if record.gold_type != UNKNOWN_TYPE]
+        if skip_ood_gold
+        else records
+    )
+    return EvaluationResult(
+        name=name,
+        metrics=metrics,
+        wall_seconds=elapsed,
+        tables=len(corpus),
+        step_trace=step_trace,
+        step_seconds=step_seconds,
+    )
+
+
+def precision_coverage_curve(
+    records: Sequence[PredictionRecord],
+    taus: Sequence[float] | None = None,
+) -> list[dict[str, float]]:
+    """Sweep the precision threshold τ over already-scored predictions.
+
+    Each row reports, for one τ, the coverage (fraction of columns whose
+    confidence cleared τ) and the precision among those retained — the
+    precision/coverage trade-off of Section 2.3 (experiment E6).
+    """
+    if taus is None:
+        taus = [round(0.05 * i, 2) for i in range(20)] + [0.99]
+    usable = [record for record in records if record.gold_type != UNKNOWN_TYPE]
+    curve = []
+    for tau in taus:
+        retained = [
+            record for record in usable
+            if record.attempted and record.confidence >= tau
+        ]
+        correct = sum(1 for record in retained if record.predicted_type == record.gold_type)
+        coverage = len(retained) / len(usable) if usable else 0.0
+        precision = correct / len(retained) if retained else 0.0
+        curve.append({"tau": float(tau), "coverage": round(coverage, 4), "precision": round(precision, 4)})
+    return curve

@@ -1,0 +1,195 @@
+"""Evaluation metrics for semantic column type detection.
+
+The paper frames the practical objective as balancing **precision** with
+**coverage** (Section 2.3): a deployed system should only emit labels it is
+confident in, abstain otherwise, and never pay for extra coverage with
+user-visible mistakes.  The metrics here therefore distinguish
+
+* classification quality *on the columns the system labelled* (precision,
+  recall, F1 — micro/macro/weighted), and
+* **coverage**: the fraction of labelled ground-truth columns the system was
+  willing to label at all.
+
+All metrics operate on plain ``(gold, predicted, abstained)`` triples so the
+same code evaluates SigmaTyper, the baselines, and any ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.ontology import UNKNOWN_TYPE
+
+__all__ = ["PredictionRecord", "TypeMetrics", "EvaluationMetrics", "evaluate_records"]
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One evaluated column."""
+
+    gold_type: str
+    predicted_type: str
+    confidence: float = 0.0
+    abstained: bool = False
+    table_name: str = ""
+    column_name: str = ""
+
+    @property
+    def attempted(self) -> bool:
+        """Whether the system actually emitted a label for this column."""
+        return not self.abstained and self.predicted_type != UNKNOWN_TYPE
+
+    @property
+    def correct(self) -> bool:
+        """Whether an emitted label matches the gold annotation."""
+        return self.attempted and self.predicted_type == self.gold_type
+
+
+@dataclass
+class TypeMetrics:
+    """Per-type precision/recall/F1 with supporting counts."""
+
+    type_name: str
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def support(self) -> int:
+        """Number of gold columns of this type."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+@dataclass
+class EvaluationMetrics:
+    """Aggregate metrics over a set of evaluated columns."""
+
+    records: list[PredictionRecord] = field(default_factory=list)
+    per_type: dict[str, TypeMetrics] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ counts
+    @property
+    def total(self) -> int:
+        """Number of evaluated (gold-labelled) columns."""
+        return len(self.records)
+
+    @property
+    def attempted(self) -> int:
+        """Columns for which a label was emitted."""
+        return sum(1 for record in self.records if record.attempted)
+
+    @property
+    def correct(self) -> int:
+        """Columns whose emitted label was correct."""
+        return sum(1 for record in self.records if record.correct)
+
+    # --------------------------------------------------------------- headline
+    @property
+    def coverage(self) -> float:
+        """Fraction of gold columns the system labelled (did not abstain on)."""
+        return self.attempted / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        """Micro precision over the emitted labels."""
+        return self.correct / self.attempted if self.attempted else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Correct labels over *all* gold columns (abstentions count as wrong)."""
+        return self.correct / self.total if self.total else 0.0
+
+    @property
+    def macro_f1(self) -> float:
+        """Unweighted mean of per-type F1 (rare types count as much as common ones)."""
+        if not self.per_type:
+            return 0.0
+        return sum(metrics.f1 for metrics in self.per_type.values()) / len(self.per_type)
+
+    @property
+    def weighted_f1(self) -> float:
+        """Support-weighted mean of per-type F1."""
+        total_support = sum(metrics.support for metrics in self.per_type.values())
+        if total_support == 0:
+            return 0.0
+        return sum(metrics.f1 * metrics.support for metrics in self.per_type.values()) / total_support
+
+    @property
+    def macro_precision(self) -> float:
+        """Unweighted mean of per-type precision."""
+        if not self.per_type:
+            return 0.0
+        return sum(metrics.precision for metrics in self.per_type.values()) / len(self.per_type)
+
+    @property
+    def macro_recall(self) -> float:
+        """Unweighted mean of per-type recall."""
+        if not self.per_type:
+            return 0.0
+        return sum(metrics.recall for metrics in self.per_type.values()) / len(self.per_type)
+
+    # ------------------------------------------------------------------ report
+    def worst_types(self, k: int = 5) -> list[TypeMetrics]:
+        """The *k* types with the lowest F1 (among types with any support)."""
+        supported = [metrics for metrics in self.per_type.values() if metrics.support > 0]
+        supported.sort(key=lambda metrics: (metrics.f1, -metrics.support, metrics.type_name))
+        return supported[:k]
+
+    def summary(self) -> dict[str, float]:
+        """The headline numbers as a plain dict (used by reports and benches)."""
+        return {
+            "columns": float(self.total),
+            "coverage": round(self.coverage, 4),
+            "precision": round(self.precision, 4),
+            "accuracy": round(self.accuracy, 4),
+            "macro_f1": round(self.macro_f1, 4),
+            "weighted_f1": round(self.weighted_f1, 4),
+            "macro_precision": round(self.macro_precision, 4),
+            "macro_recall": round(self.macro_recall, 4),
+        }
+
+
+def evaluate_records(records: Iterable[PredictionRecord]) -> EvaluationMetrics:
+    """Compute aggregate and per-type metrics from prediction records.
+
+    Per-type bookkeeping: a correct emitted label is a true positive for its
+    type; an incorrect emitted label is a false positive for the predicted
+    type and a false negative for the gold type; an abstention is a false
+    negative for the gold type (the system failed to label it), which makes
+    coverage losses visible in recall.
+    """
+    materialised = list(records)
+    per_type: dict[str, TypeMetrics] = {}
+
+    def bucket(type_name: str) -> TypeMetrics:
+        if type_name not in per_type:
+            per_type[type_name] = TypeMetrics(type_name=type_name)
+        return per_type[type_name]
+
+    for record in materialised:
+        gold = bucket(record.gold_type)
+        if record.correct:
+            gold.true_positives += 1
+        elif record.attempted:
+            gold.false_negatives += 1
+            bucket(record.predicted_type).false_positives += 1
+        else:
+            gold.false_negatives += 1
+    return EvaluationMetrics(records=materialised, per_type=per_type)

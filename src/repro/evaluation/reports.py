@@ -1,0 +1,65 @@
+"""Plain-text report rendering for benchmarks and examples.
+
+The benchmark harness prints the rows/series each experiment produces (the
+"tables" of EXPERIMENTS.md).  These helpers render lists of dictionaries as
+aligned fixed-width tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_kv", "print_table"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> str:
+    """Render dictionaries as an aligned text table.
+
+    Column order follows *columns* when given, otherwise the key order of the
+    first row.  Missing cells render as empty strings.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_render_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[i]) for row in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(column).ljust(width) for column, width in zip(columns, widths)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv(values: Mapping[str, object], title: str = "") -> str:
+    """Render a flat mapping as ``key: value`` lines."""
+    lines = [title] if title else []
+    width = max((len(str(key)) for key in values), default=0)
+    for key, value in values.items():
+        lines.append(f"{str(key).ljust(width)} : {_render_cell(value)}")
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str = "",
+) -> None:
+    """Print :func:`format_table` output (convenience for benchmarks)."""
+    print(format_table(rows, columns=columns, title=title))

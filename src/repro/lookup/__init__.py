@@ -1,0 +1,39 @@
+"""Value lookup: labeling functions, knowledge base, regular expressions, and
+the value-lookup pipeline step (step 2 of Fig. 4)."""
+
+from repro.lookup.knowledge_base import KnowledgeBase
+from repro.lookup.labeling_functions import (
+    CoOccurrenceLF,
+    ExpectationSuiteLF,
+    HeaderMatchLF,
+    LabelingFunction,
+    LabelingFunctionStore,
+    LFContext,
+    MeanRangeLF,
+    RegexLF,
+    ValueRangeLF,
+    ValueSetLF,
+    labeling_function_from_dict,
+)
+from repro.lookup.regex_library import DEFAULT_REGEX_RULES, RegexLibrary, RegexRule
+from repro.lookup.value_matcher import ValueLookupConfig, ValueLookupStep
+
+__all__ = [
+    "KnowledgeBase",
+    "LabelingFunction",
+    "LabelingFunctionStore",
+    "LFContext",
+    "ValueRangeLF",
+    "MeanRangeLF",
+    "HeaderMatchLF",
+    "CoOccurrenceLF",
+    "RegexLF",
+    "ValueSetLF",
+    "ExpectationSuiteLF",
+    "labeling_function_from_dict",
+    "RegexRule",
+    "RegexLibrary",
+    "DEFAULT_REGEX_RULES",
+    "ValueLookupConfig",
+    "ValueLookupStep",
+]

@@ -1,0 +1,118 @@
+"""Offline entity knowledge base — the DBpedia Knowledge Base substitute.
+
+The value-lookup step of the pipeline matches "a sample of column values to
+semantic types from the ontology" using, among other rules, the DBpedia
+Knowledge Base.  In this offline reproduction the knowledge base is an
+inverted index from entity strings to semantic types, seeded from the same
+closed vocabularies the corpus generators use (country names, cities, first
+names, currencies, ...).  Users can extend it with their own dictionaries,
+which is exactly how a deployment would plug in a corporate glossary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column
+
+__all__ = ["KnowledgeBase"]
+
+
+class KnowledgeBase:
+    """An inverted index of entity values to semantic types."""
+
+    def __init__(self, case_sensitive: bool = False) -> None:
+        self.case_sensitive = case_sensitive
+        self._index: dict[str, set[str]] = {}
+        self._type_sizes: dict[str, int] = {}
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def default(cls) -> "KnowledgeBase":
+        """Build the built-in knowledge base from the generator vocabularies."""
+        from repro.corpus.generators import TYPE_PROFILES
+
+        knowledge_base = cls()
+        for profile in TYPE_PROFILES.values():
+            if profile.kb_values:
+                knowledge_base.add_entities(profile.type_name, profile.kb_values)
+        return knowledge_base
+
+    def add_entities(self, type_name: str, values: Iterable[str]) -> int:
+        """Register *values* as entities of *type_name*; returns how many were added."""
+        if not type_name:
+            raise ConfigurationError("type_name must be non-empty")
+        added = 0
+        for value in values:
+            key = self._normalise(str(value))
+            if not key:
+                continue
+            types = self._index.setdefault(key, set())
+            if type_name not in types:
+                types.add(type_name)
+                added += 1
+        self._type_sizes[type_name] = self._type_sizes.get(type_name, 0) + added
+        return added
+
+    def _normalise(self, value: str) -> str:
+        value = value.strip()
+        return value if self.case_sensitive else value.lower()
+
+    # ----------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, value: str) -> bool:
+        return self._normalise(value) in self._index
+
+    @property
+    def known_types(self) -> list[str]:
+        """Types that have at least one entity, sorted."""
+        return sorted(name for name, size in self._type_sizes.items() if size > 0)
+
+    def entity_count(self, type_name: str) -> int:
+        """Number of registered entities for *type_name*."""
+        return self._type_sizes.get(type_name, 0)
+
+    def types_for_value(self, value: str) -> set[str]:
+        """Semantic types associated with one entity string (possibly empty)."""
+        return set(self._index.get(self._normalise(value), set()))
+
+    def lookup_column(
+        self,
+        column: Column,
+        sample_size: int = 50,
+        seed: int = 0,
+    ) -> dict[str, float]:
+        """Match a sample of the column's values against the knowledge base.
+
+        Returns, per semantic type, the fraction of sampled non-null values
+        that are known entities of that type — the confidence semantics the
+        paper prescribes for the lookup step.
+        """
+        sample = [str(value).strip() for value in column.sample(sample_size, seed=seed)]
+        if not sample:
+            return {}
+        counts: dict[str, int] = {}
+        for value in sample:
+            for type_name in self._index.get(self._normalise(value), ()):
+                counts[type_name] = counts.get(type_name, 0) + 1
+        return {type_name: count / len(sample) for type_name, count in counts.items()}
+
+    # ------------------------------------------------------------ serialization
+    def to_dict(self) -> dict[str, list[str]]:
+        """``{type: sorted entity list}`` representation."""
+        by_type: dict[str, list[str]] = {}
+        for value, types in self._index.items():
+            for type_name in types:
+                by_type.setdefault(type_name, []).append(value)
+        return {type_name: sorted(values) for type_name, values in sorted(by_type.items())}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Iterable[str]], case_sensitive: bool = False) -> "KnowledgeBase":
+        """Inverse of :meth:`to_dict`."""
+        knowledge_base = cls(case_sensitive=case_sensitive)
+        for type_name, values in payload.items():
+            knowledge_base.add_entities(type_name, values)
+        return knowledge_base

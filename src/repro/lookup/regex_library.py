@@ -1,0 +1,137 @@
+"""Regular-expression rules for common semantic types.
+
+Commercial systems (Trifacta, Talend, Google Data Studio) detect a limited
+set of semantic types with regular expressions; SigmaTyper's lookup step
+includes "a set of regular expressions which might be expanded on user
+input".  This module provides that rule set plus the :class:`RegexLibrary`
+used both by the value-lookup pipeline step and, on its own, as the
+commercial-style baseline (E9 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column
+
+__all__ = ["RegexRule", "DEFAULT_REGEX_RULES", "RegexLibrary"]
+
+
+@dataclass(frozen=True)
+class RegexRule:
+    """One regular-expression detector for one semantic type."""
+
+    type_name: str
+    pattern: str
+    name: str = ""
+    #: Rules below this specificity only count when most values match.
+    min_fraction: float = 0.6
+
+    def compiled(self) -> re.Pattern[str]:
+        """The compiled pattern (full-match semantics are applied by callers)."""
+        return re.compile(self.pattern)
+
+
+DEFAULT_REGEX_RULES: tuple[RegexRule, ...] = (
+    RegexRule("email", r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}", "email"),
+    RegexRule("url", r"https?://[^\s]+", "url"),
+    RegexRule("website", r"https?://(www\.)?[A-Za-z0-9-]+\.[A-Za-z]{2,}/?", "website", min_fraction=0.8),
+    RegexRule("ip_address", r"(\d{1,3}\.){3}\d{1,3}", "ipv4"),
+    RegexRule("uuid", r"[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}", "uuid"),
+    RegexRule("phone_number", r"(\+?\d{1,3}[ .-]?)?(\(\d{2,4}\)[ .-]?)?\d{2,4}[ .-]\d{3,4}([ .-]\d{3,4})?", "phone"),
+    RegexRule("ssn", r"\d{3}-\d{2}-\d{4}", "ssn"),
+    RegexRule("zip_code", r"\d{5}(-\d{4})?", "zip-us", min_fraction=0.85),
+    RegexRule("date", r"\d{4}-\d{2}-\d{2}", "date-iso"),
+    RegexRule("date", r"\d{1,2}/\d{1,2}/\d{2,4}", "date-us"),
+    RegexRule("timestamp", r"\d{4}-\d{2}-\d{2}[T ]\d{2}:\d{2}(:\d{2})?(\.\d+)?(Z|[+-]\d{2}:?\d{2})?", "timestamp-iso"),
+    RegexRule("time", r"\d{1,2}:\d{2}(:\d{2})?( ?[APap][Mm])?", "time"),
+    RegexRule("credit_card_number", r"\d{4}[ -]\d{4}[ -]\d{4}[ -]\d{4}", "credit-card"),
+    RegexRule("iban", r"[A-Z]{2}\d{2}[A-Z0-9]{10,30}", "iban"),
+    RegexRule("isbn", r"97[89][- ]?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?\d", "isbn13"),
+    RegexRule("currency", r"[A-Z]{3}", "currency-code", min_fraction=0.9),
+    RegexRule("country_code", r"[A-Z]{2,3}", "country-code", min_fraction=0.95),
+    RegexRule("percentage", r"-?\d+(\.\d+)?%", "percentage"),
+    RegexRule("price", r"[\$€£¥]\s?\d[\d,]*(\.\d+)?", "currency-amount"),
+    RegexRule("color", r"#[0-9a-fA-F]{6}", "hex-color"),
+    RegexRule("version", r"v?\d+\.\d+(\.\d+)?", "semver", min_fraction=0.8),
+    RegexRule("blood_pressure", r"\d{2,3}/\d{2,3}", "blood-pressure", min_fraction=0.9),
+    RegexRule("blood_type", r"(A|B|AB|O)[+-]", "blood-type", min_fraction=0.9),
+    RegexRule("year", r"(19|20)\d{2}", "year", min_fraction=0.95),
+    RegexRule("latitude", r"-?([0-8]?\d|90)\.\d{3,}", "latitude", min_fraction=0.95),
+    RegexRule("domain", r"[a-z0-9-]+\.[a-z]{2,}", "domain", min_fraction=0.9),
+    RegexRule("file_name", r"[\w .-]+\.(csv|txt|pdf|xlsx?|json|xml|png|jpe?g|docx?|pptx?|zip|log)", "file-name"),
+    RegexRule("mime_type", r"[a-z]+/[a-z0-9.+-]+", "mime-type", min_fraction=0.9),
+    RegexRule("sku", r"[A-Z]{2,4}-\d{2,4}-?\d{0,4}", "sku", min_fraction=0.8),
+    RegexRule("invoice_number", r"INV-\d{4}-\d{3,6}", "invoice"),
+    RegexRule("patient_id", r"MRN\d{5,8}", "mrn"),
+    RegexRule("transaction_id", r"TXN[0-9A-F]{6,12}", "txn"),
+    RegexRule("dosage", r"\d+(\.\d+)?\s?(mg|mcg|ml|g|units|mg/ml|tablets)", "dosage"),
+)
+
+
+class RegexLibrary:
+    """A set of regex detectors applied to sampled column values."""
+
+    def __init__(self, rules: Iterable[RegexRule] | None = None) -> None:
+        self._rules: list[RegexRule] = []
+        self._compiled: list[re.Pattern[str]] = []
+        for rule in (DEFAULT_REGEX_RULES if rules is None else rules):
+            self.add_rule(rule)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self):
+        return iter(self._rules)
+
+    @property
+    def covered_types(self) -> list[str]:
+        """Semantic types at least one rule can detect, sorted."""
+        return sorted({rule.type_name for rule in self._rules})
+
+    def add_rule(self, rule: RegexRule) -> None:
+        """Register a rule (user-supplied rules extend the library at runtime)."""
+        try:
+            compiled = rule.compiled()
+        except re.error as exc:
+            raise ConfigurationError(f"invalid regex for {rule.type_name!r}: {exc}") from exc
+        self._rules.append(rule)
+        self._compiled.append(compiled)
+
+    def rules_for_type(self, type_name: str) -> list[RegexRule]:
+        """Rules targeting *type_name*."""
+        return [rule for rule in self._rules if rule.type_name == type_name]
+
+    def match_value(self, value: str) -> set[str]:
+        """Types whose patterns fully match one value."""
+        text = str(value).strip()
+        matched = set()
+        for rule, compiled in zip(self._rules, self._compiled):
+            if compiled.fullmatch(text):
+                matched.add(rule.type_name)
+        return matched
+
+    def match_column(self, column: Column, sample_size: int = 50, seed: int = 0) -> dict[str, float]:
+        """Fraction of sampled values matching each type's rules.
+
+        Types whose best rule demands a higher ``min_fraction`` (weak,
+        unspecific patterns such as bare three-letter codes) are only
+        reported when that fraction is reached.
+        """
+        sample = [str(value).strip() for value in column.sample(sample_size, seed=seed)]
+        if not sample:
+            return {}
+        counts: dict[str, int] = {}
+        for value in sample:
+            for type_name in self.match_value(value):
+                counts[type_name] = counts.get(type_name, 0) + 1
+        fractions = {type_name: count / len(sample) for type_name, count in counts.items()}
+        results: dict[str, float] = {}
+        for type_name, fraction in fractions.items():
+            thresholds = [rule.min_fraction for rule in self.rules_for_type(type_name)]
+            if fraction >= min(thresholds):
+                results[type_name] = fraction
+        return results

@@ -1,0 +1,30 @@
+"""Header matching: fuzzy string similarity, subword embeddings, and the
+header-matching pipeline step (step 1 of Fig. 4)."""
+
+from repro.matching.embeddings import SubwordEmbedder, cosine_similarity
+from repro.matching.fuzzy import (
+    combined_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_ratio,
+    normalize_header,
+    token_set_ratio,
+    tokenize_header,
+)
+from repro.matching.header_matcher import HeaderMatcher, HeaderMatcherConfig
+
+__all__ = [
+    "SubwordEmbedder",
+    "cosine_similarity",
+    "levenshtein_distance",
+    "levenshtein_ratio",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "token_set_ratio",
+    "combined_similarity",
+    "normalize_header",
+    "tokenize_header",
+    "HeaderMatcher",
+    "HeaderMatcherConfig",
+]

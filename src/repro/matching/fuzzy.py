@@ -1,0 +1,186 @@
+"""String similarity primitives for syntactic header matching.
+
+The first step of SigmaTyper's pipeline compares column headers against the
+labels and synonyms in the type ontology "using fuzzy matching".  This module
+implements the standard similarity measures from scratch (no external fuzzy
+matching dependency): Levenshtein edit distance/ratio, Jaro and Jaro–Winkler
+similarity, and token-based set ratios that are robust to word reordering.
+
+All similarity functions return floats in ``[0, 1]`` where ``1`` means an
+exact match, and are case-insensitive after :func:`normalize_header`
+tokenisation.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "normalize_header",
+    "tokenize_header",
+    "levenshtein_distance",
+    "levenshtein_ratio",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "token_set_ratio",
+    "combined_similarity",
+]
+
+_CAMEL_CASE_RE = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM_RE = re.compile(r"[^a-z0-9]+")
+
+#: Header tokens that carry no semantic information on their own.
+_STOP_TOKENS = frozenset({"the", "of", "a", "an", "de", "der", "no"})
+
+
+def normalize_header(header: str) -> str:
+    """Lower-case a header and collapse camelCase/punctuation to spaces.
+
+    ``"OrderDate"``, ``"order_date"``, ``"ORDER-DATE"`` and ``"Order Date"``
+    all normalise to ``"order date"``.
+    """
+    if not header:
+        return ""
+    spaced = _CAMEL_CASE_RE.sub(" ", header)
+    lowered = spaced.lower()
+    cleaned = _NON_ALNUM_RE.sub(" ", lowered)
+    return " ".join(cleaned.split())
+
+
+def tokenize_header(header: str) -> list[str]:
+    """Split a header into informative lower-case tokens."""
+    return [token for token in normalize_header(header).split() if token not in _STOP_TOKENS]
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """Minimum number of single-character edits turning *first* into *second*."""
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    if len(first) < len(second):
+        first, second = second, first
+    previous = list(range(len(second) + 1))
+    for i, char_a in enumerate(first, start=1):
+        current = [i]
+        for j, char_b in enumerate(second, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (char_a != char_b)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_ratio(first: str, second: str) -> float:
+    """Normalised edit similarity in ``[0, 1]``."""
+    if not first and not second:
+        return 1.0
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(first, second) / longest
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """Jaro similarity in ``[0, 1]``."""
+    if first == second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    match_window = max(len(first), len(second)) // 2 - 1
+    match_window = max(match_window, 0)
+    first_matches = [False] * len(first)
+    second_matches = [False] * len(second)
+
+    matches = 0
+    for i, char in enumerate(first):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(second))
+        for j in range(start, end):
+            if second_matches[j] or second[j] != char:
+                continue
+            first_matches[i] = True
+            second_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(first_matches):
+        if not matched:
+            continue
+        while not second_matches[j]:
+            j += 1
+        if first[i] != second[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(first)
+        + matches / len(second)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(first: str, second: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity: Jaro boosted for a shared prefix (≤ 4 chars)."""
+    jaro = jaro_similarity(first, second)
+    prefix_length = 0
+    for char_a, char_b in zip(first[:4], second[:4]):
+        if char_a != char_b:
+            break
+        prefix_length += 1
+    return jaro + prefix_length * prefix_scale * (1.0 - jaro)
+
+
+def token_set_ratio(first: str, second: str) -> float:
+    """Similarity of the *token sets* of two headers.
+
+    Robust to word order (``"date of birth"`` vs ``"birth date"``) and to one
+    header being a subset of the other (``"customer name"`` vs ``"name"``).
+    Tokens that do not match exactly contribute their best pairwise
+    Levenshtein ratio, so small misspellings degrade gracefully.
+    """
+    tokens_a = set(tokenize_header(first))
+    tokens_b = set(tokenize_header(second))
+    if not tokens_a or not tokens_b:
+        return 1.0 if tokens_a == tokens_b else 0.0
+    if tokens_a == tokens_b:
+        return 1.0
+    shared = tokens_a & tokens_b
+    remaining_a = tokens_a - shared
+    remaining_b = tokens_b - shared
+    score = len(shared)
+    for token in remaining_a:
+        best = max((levenshtein_ratio(token, other) for other in remaining_b), default=0.0)
+        score += best if best >= 0.75 else 0.0
+    denominator = max(len(tokens_a), len(tokens_b))
+    return min(score / denominator, 1.0)
+
+
+def combined_similarity(first: str, second: str) -> float:
+    """The syntactic similarity used by the header-matching step.
+
+    The maximum of character-level (Jaro–Winkler, Levenshtein ratio) and
+    token-level similarity on the normalised headers: character measures
+    handle abbreviations (``cust_nm`` vs ``customer name``) poorly but
+    reordering well, token measures the reverse, so the max is a robust
+    compromise for short header strings.
+    """
+    normalized_a = normalize_header(first)
+    normalized_b = normalize_header(second)
+    if not normalized_a or not normalized_b:
+        return 0.0
+    if normalized_a == normalized_b:
+        return 1.0
+    return max(
+        jaro_winkler_similarity(normalized_a, normalized_b),
+        levenshtein_ratio(normalized_a, normalized_b),
+        token_set_ratio(normalized_a, normalized_b),
+    )

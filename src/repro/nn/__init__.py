@@ -1,0 +1,38 @@
+"""Numpy neural-network substrate: layers, optimizers, and an MLP classifier."""
+
+from repro.nn.functional import (
+    accuracy,
+    cross_entropy,
+    cross_entropy_grad,
+    log_softmax,
+    minibatches,
+    one_hot,
+    relu,
+    relu_grad,
+    softmax,
+)
+from repro.nn.layers import Dense, Dropout, Layer, ReLU
+from repro.nn.model import MLPClassifier, MLPConfig, TrainingHistory
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "one_hot",
+    "accuracy",
+    "minibatches",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Dropout",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "MLPClassifier",
+    "MLPConfig",
+    "TrainingHistory",
+]

@@ -1,0 +1,115 @@
+"""Numerical building blocks for the numpy neural-network substrate.
+
+The table-embedding model of the pipeline (the paper finetunes TaBERT) is
+reproduced here as a feature-based multilayer perceptron; since no deep
+learning framework is available offline, this subpackage implements the
+necessary pieces — activations, softmax/cross-entropy, one-hot encoding,
+mini-batch iteration — directly on numpy arrays.
+
+All functions are pure and operate on 2-D ``(batch, features)`` arrays unless
+stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "one_hot",
+    "accuracy",
+    "minibatches",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU with respect to its input (1 where x > 0)."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for numerical stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax (more stable than ``log(softmax(x))``)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def cross_entropy(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    class_weights: np.ndarray | None = None,
+) -> float:
+    """Mean cross-entropy of integer *targets* given *logits*.
+
+    ``class_weights`` (one per class) lets training counteract the label
+    imbalance of corpus columns (``id`` and ``date`` dominate real tables).
+    """
+    log_probabilities = log_softmax(logits)
+    picked = log_probabilities[np.arange(len(targets)), targets]
+    if class_weights is not None:
+        weights = class_weights[targets]
+        return float(-(picked * weights).sum() / max(weights.sum(), 1e-12))
+    return float(-picked.mean())
+
+
+def cross_entropy_grad(
+    logits: np.ndarray,
+    targets: np.ndarray,
+    class_weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Gradient of :func:`cross_entropy` with respect to the logits."""
+    probabilities = softmax(logits)
+    grad = probabilities.copy()
+    grad[np.arange(len(targets)), targets] -= 1.0
+    if class_weights is not None:
+        weights = class_weights[targets][:, None]
+        grad = grad * weights / max(float(class_weights[targets].sum()), 1e-12)
+    else:
+        grad /= len(targets)
+    return grad
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into a ``(batch, num_classes)`` array."""
+    encoded = np.zeros((len(targets), num_classes), dtype=np.float64)
+    encoded[np.arange(len(targets)), targets] = 1.0
+    return encoded
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose arg-max matches the target."""
+    if len(targets) == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def minibatches(
+    num_rows: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(num_rows)`` in mini-batches."""
+    order = np.arange(num_rows)
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, num_rows, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,263 @@
+"""A multilayer-perceptron classifier built on the numpy layer substrate.
+
+This is the learned model inside the table-embedding pipeline step (the
+paper's TaBERT substitute), but it is deliberately generic: features in,
+class probabilities out, with mini-batch Adam training, dropout, L2 weight
+decay, class weighting for imbalanced corpora, early stopping on a validation
+split, and optional warm-start finetuning (used when a local model adapts to
+weakly-labeled DPBD data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError, ModelNotTrainedError
+from repro.nn.functional import accuracy, cross_entropy, cross_entropy_grad, minibatches, softmax
+from repro.nn.layers import Dense, Dropout, Layer, ReLU
+from repro.nn.optimizers import Adam
+
+__all__ = ["MLPConfig", "TrainingHistory", "MLPClassifier"]
+
+
+@dataclass
+class MLPConfig:
+    """Hyper-parameters of the MLP classifier."""
+
+    hidden_sizes: tuple[int, ...] = (128, 64)
+    dropout: float = 0.2
+    l2: float = 1e-4
+    learning_rate: float = 1e-3
+    batch_size: int = 64
+    max_epochs: int = 60
+    #: Stop when the validation loss has not improved for this many epochs.
+    patience: int = 8
+    validation_fraction: float = 0.15
+    #: Weight classes inversely to their frequency (helps rare semantic types).
+    balance_classes: bool = True
+    seed: int = 0
+
+    def validate(self) -> None:
+        if any(size <= 0 for size in self.hidden_sizes):
+            raise ConfigurationError("hidden layer sizes must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigurationError("dropout must be in [0, 1)")
+        if not 0.0 <= self.validation_fraction < 0.5:
+            raise ConfigurationError("validation_fraction must be in [0, 0.5)")
+        if self.batch_size < 1 or self.max_epochs < 1 or self.patience < 1:
+            raise ConfigurationError("batch_size, max_epochs and patience must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metrics recorded during :meth:`MLPClassifier.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    validation_loss: list[float] = field(default_factory=list)
+    validation_accuracy: list[float] = field(default_factory=list)
+    stopped_epoch: int = 0
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+
+class MLPClassifier:
+    """Feed-forward classifier: dense → ReLU → dropout blocks plus a softmax head."""
+
+    def __init__(self, num_features: int, num_classes: int, config: MLPConfig | None = None):
+        if num_features <= 0 or num_classes < 2:
+            raise ConfigurationError("need at least one feature and two classes")
+        self.config = config or MLPConfig()
+        self.config.validate()
+        self.num_features = num_features
+        self.num_classes = num_classes
+        self._rng = np.random.default_rng(self.config.seed)
+        self._layers: list[Layer] = self._build_layers()
+        self._optimizer = Adam(learning_rate=self.config.learning_rate)
+        self._fitted = False
+        self.history = TrainingHistory()
+        # Feature standardisation parameters (fit on the training set).
+        self._feature_mean: np.ndarray | None = None
+        self._feature_scale: np.ndarray | None = None
+
+    # --------------------------------------------------------------- structure
+    def _build_layers(self) -> list[Layer]:
+        layers: list[Layer] = []
+        previous = self.num_features
+        for hidden in self.config.hidden_sizes:
+            layers.append(Dense(previous, hidden, self._rng, l2=self.config.l2))
+            layers.append(ReLU())
+            if self.config.dropout > 0:
+                layers.append(Dropout(self.config.dropout, self._rng))
+            previous = hidden
+        layers.append(Dense(previous, self.num_classes, self._rng, l2=self.config.l2))
+        return layers
+
+    def _parameters(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        parameters: list[np.ndarray] = []
+        gradients: list[np.ndarray] = []
+        for layer in self._layers:
+            parameters.extend(layer.parameters())
+            gradients.extend(layer.gradients())
+        return parameters, gradients
+
+    # ------------------------------------------------------------------ passes
+    def _forward(self, features: np.ndarray, training: bool) -> np.ndarray:
+        activations = features
+        for layer in self._layers:
+            activations = layer.forward(activations, training=training)
+        return activations
+
+    def _backward(self, grad_logits: np.ndarray) -> None:
+        grad = grad_logits
+        for layer in reversed(self._layers):
+            grad = layer.backward(grad)
+
+    def _standardise(self, features: np.ndarray) -> np.ndarray:
+        if self._feature_mean is None or self._feature_scale is None:
+            return features
+        return (features - self._feature_mean) / self._feature_scale
+
+    # -------------------------------------------------------------------- fit
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        warm_start: bool = False,
+        max_epochs: int | None = None,
+    ) -> TrainingHistory:
+        """Train on ``(features, labels)``; returns the training history.
+
+        With ``warm_start=True`` the existing weights and feature scaling are
+        kept and training continues — this is how local models are finetuned
+        on the weakly-labeled data DPBD generates.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ConfigurationError(
+                f"expected features of shape (n, {self.num_features}), got {features.shape}"
+            )
+        if len(features) != len(labels):
+            raise ConfigurationError("features and labels must have the same length")
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= self.num_classes:
+            raise ConfigurationError("labels out of range for the configured number of classes")
+        config = self.config
+        epochs = max_epochs or config.max_epochs
+
+        if not warm_start or self._feature_mean is None:
+            self._feature_mean = features.mean(axis=0)
+            scale = features.std(axis=0)
+            scale[scale < 1e-8] = 1.0
+            self._feature_scale = scale
+        standardized = self._standardise(features)
+
+        class_weights = None
+        if config.balance_classes:
+            counts = np.bincount(labels, minlength=self.num_classes).astype(np.float64)
+            counts[counts == 0] = 1.0
+            class_weights = counts.sum() / (self.num_classes * counts)
+
+        # Validation split for early stopping.
+        num_validation = int(round(config.validation_fraction * len(standardized)))
+        order = self._rng.permutation(len(standardized))
+        validation_idx = order[:num_validation]
+        train_idx = order[num_validation:]
+        if len(train_idx) == 0:
+            train_idx = order
+            validation_idx = np.array([], dtype=np.int64)
+        train_x, train_y = standardized[train_idx], labels[train_idx]
+        valid_x, valid_y = standardized[validation_idx], labels[validation_idx]
+
+        history = TrainingHistory()
+        best_validation = np.inf
+        best_weights: list[np.ndarray] | None = None
+        epochs_without_improvement = 0
+
+        for epoch in range(epochs):
+            epoch_losses = []
+            for batch in minibatches(len(train_x), config.batch_size, self._rng):
+                logits = self._forward(train_x[batch], training=True)
+                loss = cross_entropy(logits, train_y[batch], class_weights)
+                grad = cross_entropy_grad(logits, train_y[batch], class_weights)
+                self._backward(grad)
+                parameters, gradients = self._parameters()
+                self._optimizer.step(parameters, gradients)
+                epoch_losses.append(loss)
+
+            train_logits = self._forward(train_x, training=False)
+            history.train_loss.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+            history.train_accuracy.append(accuracy(train_logits, train_y))
+
+            if len(valid_x):
+                valid_logits = self._forward(valid_x, training=False)
+                valid_loss = cross_entropy(valid_logits, valid_y, class_weights)
+                history.validation_loss.append(valid_loss)
+                history.validation_accuracy.append(accuracy(valid_logits, valid_y))
+                if valid_loss < best_validation - 1e-5:
+                    best_validation = valid_loss
+                    best_weights = [parameter.copy() for parameter in self._parameters()[0]]
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= config.patience:
+                        history.stopped_epoch = epoch + 1
+                        break
+            history.stopped_epoch = epoch + 1
+
+        if best_weights is not None:
+            for parameter, best in zip(self._parameters()[0], best_weights):
+                parameter[...] = best
+        self._fitted = True
+        self.history = history
+        return history
+
+    # -------------------------------------------------------------- inference
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities of shape ``(n, num_classes)``."""
+        if not self._fitted:
+            raise ModelNotTrainedError("MLPClassifier.predict_proba called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        logits = self._forward(self._standardise(features), training=False)
+        return softmax(logits)
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        """Raw (pre-softmax) scores — used by the energy-based OOD detector."""
+        if not self._fitted:
+            raise ModelNotTrainedError("MLPClassifier.predict_logits called before fit")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        return self._forward(self._standardise(features), training=False)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Arg-max class indices."""
+        return self.predict_proba(features).argmax(axis=1)
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has completed at least once."""
+        return self._fitted
+
+    # ----------------------------------------------------------- serialization
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of all trainable arrays (useful for snapshot/rollback)."""
+        return [parameter.copy() for parameter in self._parameters()[0]]
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        """Restore weights captured with :meth:`get_weights`."""
+        parameters, _ = self._parameters()
+        if len(parameters) != len(weights):
+            raise ConfigurationError("weight list does not match the model architecture")
+        for parameter, stored in zip(parameters, weights):
+            if parameter.shape != stored.shape:
+                raise ConfigurationError("weight shapes do not match the model architecture")
+            parameter[...] = stored
+        self._fitted = True

@@ -1,0 +1,94 @@
+"""Optimizers for the numpy MLP.
+
+Adam is the workhorse used by the table-embedding classifier; plain SGD with
+momentum is kept for the optimizer-comparison tests and as a simpler
+fallback.  Optimizers update parameter arrays in place, matching how the
+layers expose their parameters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Updates a fixed set of parameter arrays from their gradients."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ConfigurationError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    @abstractmethod
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        """Apply one update; ``parameters[i]`` is modified in place."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise ConfigurationError("parameters and gradients must align")
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(parameter) for parameter in parameters]
+        for parameter, gradient, velocity in zip(parameters, gradients, self._velocity):
+            velocity *= self.momentum
+            velocity -= self.learning_rate * gradient
+            parameter += velocity
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("Adam betas must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._step_count = 0
+        self._first_moment: list[np.ndarray] | None = None
+        self._second_moment: list[np.ndarray] | None = None
+
+    def step(self, parameters: Sequence[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        if len(parameters) != len(gradients):
+            raise ConfigurationError("parameters and gradients must align")
+        if self._first_moment is None:
+            self._first_moment = [np.zeros_like(parameter) for parameter in parameters]
+            self._second_moment = [np.zeros_like(parameter) for parameter in parameters]
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        assert self._second_moment is not None
+        for parameter, gradient, first, second in zip(
+            parameters, gradients, self._first_moment, self._second_moment
+        ):
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient ** 2
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter -= self.learning_rate * corrected_first / (np.sqrt(corrected_second) + self.epsilon)

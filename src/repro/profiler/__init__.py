@@ -1,0 +1,23 @@
+"""Data profiler: column statistics and expectation suites.
+
+The offline substitute for Great Expectations used by DPBD to capture a
+column's distribution and turn it into labeling functions.
+"""
+
+from repro.profiler.expectations import (
+    Expectation,
+    ExpectationResult,
+    ExpectationSuite,
+    build_expectation_suite,
+)
+from repro.profiler.statistics import ColumnStatistics, character_template, profile_column
+
+__all__ = [
+    "ColumnStatistics",
+    "profile_column",
+    "character_template",
+    "Expectation",
+    "ExpectationResult",
+    "ExpectationSuite",
+    "build_expectation_suite",
+]

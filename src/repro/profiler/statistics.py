@@ -1,0 +1,197 @@
+"""Column statistics used by the profiler and the feature extractors.
+
+The DPBD subsystem infers labeling functions from "statistics of the data
+distribution using a data profiler" (Section 4.2).  This module computes
+those statistics: structural type, null/distinct fractions, numeric moments
+and quantiles, text length statistics, character-class composition, and a
+coarse character *pattern template* (``"Aa+ 9+"`` style) that summarises the
+shape of the values.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics as stats
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.datatypes import DataType
+from repro.core.table import Column
+
+__all__ = ["ColumnStatistics", "profile_column", "character_template"]
+
+
+def character_template(value: str, max_run: int = 3) -> str:
+    """Collapse a string into a coarse character-class template.
+
+    Letters become ``a`` (or ``A`` for upper case), digits become ``9``, and
+    everything else is kept verbatim; runs longer than *max_run* are
+    abbreviated with ``+``.  ``"AB-123"`` → ``"AA-99+"``.
+    """
+    classes = []
+    for char in value:
+        if char.isdigit():
+            classes.append("9")
+        elif char.isalpha():
+            classes.append("A" if char.isupper() else "a")
+        else:
+            classes.append(char)
+    template: list[str] = []
+    run_char = ""
+    run_length = 0
+    for symbol in classes:
+        if symbol == run_char:
+            run_length += 1
+            if run_length == max_run + 1:
+                template.append("+")
+            elif run_length <= max_run:
+                template.append(symbol)
+        else:
+            run_char = symbol
+            run_length = 1
+            template.append(symbol)
+    return "".join(template)
+
+
+@dataclass
+class ColumnStatistics:
+    """A full statistical profile of one column."""
+
+    column_name: str
+    data_type: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    # Numeric statistics (None when the column has no numeric interpretation).
+    minimum: float | None = None
+    maximum: float | None = None
+    mean: float | None = None
+    median: float | None = None
+    std_dev: float | None = None
+    quartile_1: float | None = None
+    quartile_3: float | None = None
+    # Text statistics.
+    min_length: int = 0
+    max_length: int = 0
+    mean_length: float = 0.0
+    digit_fraction: float = 0.0
+    alpha_fraction: float = 0.0
+    whitespace_fraction: float = 0.0
+    punctuation_fraction: float = 0.0
+    most_frequent_values: list[str] = field(default_factory=list)
+    #: Dominant coarse character templates, most common first.
+    common_templates: list[str] = field(default_factory=list)
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of missing cells."""
+        return self.null_count / self.row_count if self.row_count else 0.0
+
+    @property
+    def unique_fraction(self) -> float:
+        """Distinct values over non-null values."""
+        non_null = self.row_count - self.null_count
+        return self.distinct_count / non_null if non_null else 0.0
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether numeric moments are available."""
+        return self.mean is not None
+
+    @property
+    def looks_categorical(self) -> bool:
+        """Low-cardinality columns that behave like enumerations."""
+        non_null = self.row_count - self.null_count
+        if non_null == 0:
+            return False
+        return self.distinct_count <= max(20, int(0.05 * non_null))
+
+    @property
+    def looks_like_identifier(self) -> bool:
+        """High-cardinality columns whose values are (nearly) all distinct."""
+        return self.unique_fraction >= 0.95 and self.row_count - self.null_count >= 5
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (used in reports and examples)."""
+        return {
+            "column_name": self.column_name,
+            "data_type": self.data_type.value,
+            "row_count": self.row_count,
+            "null_fraction": round(self.null_fraction, 4),
+            "distinct_count": self.distinct_count,
+            "unique_fraction": round(self.unique_fraction, 4),
+            "minimum": self.minimum,
+            "maximum": self.maximum,
+            "mean": self.mean,
+            "median": self.median,
+            "std_dev": self.std_dev,
+            "mean_length": round(self.mean_length, 2),
+            "most_frequent_values": list(self.most_frequent_values),
+            "common_templates": list(self.common_templates),
+        }
+
+
+def _quantile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation quantile of an already sorted sequence."""
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(sorted_values[lower])
+    weight = position - lower
+    return float(sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight)
+
+
+def profile_column(column: Column, max_frequent: int = 10, max_templates: int = 3) -> ColumnStatistics:
+    """Compute the full :class:`ColumnStatistics` profile of *column*."""
+    text_values = column.text_values()
+    numeric_values = column.numeric_values()
+    row_count = len(column)
+    null_count = row_count - len(text_values)
+
+    profile = ColumnStatistics(
+        column_name=column.name,
+        data_type=column.data_type,
+        row_count=row_count,
+        null_count=null_count,
+        distinct_count=len(set(text_values)),
+        most_frequent_values=column.most_frequent_values(max_frequent),
+    )
+
+    if numeric_values and len(numeric_values) >= max(3, int(0.5 * len(text_values))):
+        ordered = sorted(numeric_values)
+        profile.minimum = float(ordered[0])
+        profile.maximum = float(ordered[-1])
+        profile.mean = float(stats.fmean(ordered))
+        profile.median = float(_quantile(ordered, 0.5))
+        profile.quartile_1 = float(_quantile(ordered, 0.25))
+        profile.quartile_3 = float(_quantile(ordered, 0.75))
+        profile.std_dev = float(stats.pstdev(ordered)) if len(ordered) > 1 else 0.0
+
+    if text_values:
+        lengths = [len(value) for value in text_values]
+        profile.min_length = min(lengths)
+        profile.max_length = max(lengths)
+        profile.mean_length = sum(lengths) / len(lengths)
+        total_chars = sum(lengths) or 1
+        digits = sum(char.isdigit() for value in text_values for char in value)
+        alphas = sum(char.isalpha() for value in text_values for char in value)
+        spaces = sum(char.isspace() for value in text_values for char in value)
+        profile.digit_fraction = digits / total_chars
+        profile.alpha_fraction = alphas / total_chars
+        profile.whitespace_fraction = spaces / total_chars
+        profile.punctuation_fraction = max(
+            0.0, 1.0 - profile.digit_fraction - profile.alpha_fraction - profile.whitespace_fraction
+        )
+        template_counts: dict[str, int] = {}
+        for value in text_values:
+            template = character_template(value)
+            template_counts[template] = template_counts.get(template, 0) + 1
+        ranked = sorted(template_counts.items(), key=lambda item: (-item[1], item[0]))
+        profile.common_templates = [template for template, _ in ranked[:max_templates]]
+
+    return profile

@@ -1,0 +1,13 @@
+"""Semantics from queries (Section 5 future work): SQL usage signals as a
+prior over semantic column types."""
+
+from repro.queries.parser import ColumnUsage, QueryLog, analyze_queries
+from repro.queries.reranker import QueryAwareReranker, QueryRerankerConfig
+
+__all__ = [
+    "ColumnUsage",
+    "QueryLog",
+    "analyze_queries",
+    "QueryAwareReranker",
+    "QueryRerankerConfig",
+]

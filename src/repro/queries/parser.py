@@ -1,0 +1,232 @@
+"""Lightweight SQL query-log analysis (Section 5, "Semantics from queries").
+
+The paper's future-work section argues that an important and so-far ignored
+source of table semantics is *what users do with a table*: the SQL queries
+they run.  A column that is summed is a measure; a column used as a join key
+or in ``COUNT(DISTINCT ...)`` behaves like an identifier; a column in
+``GROUP BY`` is a dimension; a column compared against date literals is
+temporal.
+
+This module extracts those *usage signals* from a log of SQL query strings
+with a deliberately small, dependency-free parser: regular expressions over
+normalised SQL, sufficient for the analytical SELECT statements a BI tool like
+Sigma issues.  The output is a :class:`ColumnUsage` profile per column name,
+which :mod:`repro.queries.reranker` turns into a prior over semantic types.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["ColumnUsage", "QueryLog", "analyze_queries"]
+
+_AGGREGATES_NUMERIC = ("sum", "avg", "stddev", "variance")
+_IDENTIFIER_RE = r"[A-Za-z_][A-Za-z0-9_]*"
+_COLUMN_REF_RE = rf"(?:{_IDENTIFIER_RE}\.)?({_IDENTIFIER_RE})"
+
+_NUMERIC_AGG_PATTERN = re.compile(
+    rf"\b({'|'.join(_AGGREGATES_NUMERIC)})\s*\(\s*{_COLUMN_REF_RE}\s*\)", re.IGNORECASE
+)
+_MIN_MAX_PATTERN = re.compile(rf"\b(min|max)\s*\(\s*{_COLUMN_REF_RE}\s*\)", re.IGNORECASE)
+_COUNT_DISTINCT_PATTERN = re.compile(
+    rf"\bcount\s*\(\s*distinct\s+{_COLUMN_REF_RE}\s*\)", re.IGNORECASE
+)
+_GROUP_BY_PATTERN = re.compile(r"\bgroup\s+by\s+(.+?)(?:\border\s+by\b|\bhaving\b|\blimit\b|;|$)",
+                               re.IGNORECASE | re.DOTALL)
+_ORDER_BY_PATTERN = re.compile(r"\border\s+by\s+(.+?)(?:\blimit\b|;|$)", re.IGNORECASE | re.DOTALL)
+_JOIN_ON_PATTERN = re.compile(
+    rf"\bon\s+{_COLUMN_REF_RE}\s*=\s*{_COLUMN_REF_RE}", re.IGNORECASE
+)
+_WHERE_DATE_PATTERN = re.compile(
+    rf"{_COLUMN_REF_RE}\s*(?:[<>=]+|between)\s*(?:date\s*)?'(\d{{4}}-\d{{2}}-\d{{2}})",
+    re.IGNORECASE,
+)
+_WHERE_EQUALITY_PATTERN = re.compile(rf"{_COLUMN_REF_RE}\s*=\s*'[^']*'", re.IGNORECASE)
+_LIKE_PATTERN = re.compile(rf"{_COLUMN_REF_RE}\s+like\s+'([^']*)'", re.IGNORECASE)
+
+
+@dataclass
+class ColumnUsage:
+    """How one column (by name) is used across a query log."""
+
+    column_name: str
+    #: Number of queries mentioning the column at all.
+    mentions: int = 0
+    #: SUM/AVG/STDDEV aggregations — strong "numeric measure" signal.
+    numeric_aggregations: int = 0
+    #: MIN/MAX aggregations (weaker: also common on dates and strings).
+    extremal_aggregations: int = 0
+    #: COUNT(DISTINCT col) usages — identifier-ish.
+    distinct_counts: int = 0
+    #: Appearances in GROUP BY — dimension / categorical signal.
+    group_by_uses: int = 0
+    #: Appearances in ORDER BY.
+    order_by_uses: int = 0
+    #: Usages as a join key (either side of an ON equality).
+    join_key_uses: int = 0
+    #: Comparisons against date literals — temporal signal.
+    date_comparisons: int = 0
+    #: Equality filters against string literals — categorical signal.
+    equality_filters: int = 0
+    #: LIKE patterns applied to the column.
+    like_patterns: list[str] = field(default_factory=list)
+
+    @property
+    def is_measure_like(self) -> bool:
+        """Summed/averaged at least as often as it is grouped by."""
+        return self.numeric_aggregations > 0 and self.numeric_aggregations >= self.group_by_uses
+
+    @property
+    def is_dimension_like(self) -> bool:
+        """Grouped or equality-filtered more than it is aggregated."""
+        return (self.group_by_uses + self.equality_filters) > self.numeric_aggregations
+
+    @property
+    def is_identifier_like(self) -> bool:
+        """Used as a join key or counted distinctly."""
+        return self.join_key_uses > 0 or self.distinct_counts > 0
+
+    @property
+    def is_temporal_like(self) -> bool:
+        """Compared against date literals at least once."""
+        return self.date_comparisons > 0
+
+
+class QueryLog:
+    """An append-only log of SQL query strings issued against the user's tables."""
+
+    def __init__(self, queries: Iterable[str] = ()) -> None:
+        self._queries: list[str] = [q for q in queries if q and q.strip()]
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._queries)
+
+    def add(self, query: str) -> None:
+        """Record one query (blank strings are ignored)."""
+        if query and query.strip():
+            self._queries.append(query)
+
+    def extend(self, queries: Iterable[str]) -> None:
+        """Record several queries."""
+        for query in queries:
+            self.add(query)
+
+    def analyze(self, column_names: Iterable[str] | None = None) -> dict[str, ColumnUsage]:
+        """Extract per-column usage profiles; see :func:`analyze_queries`."""
+        return analyze_queries(self._queries, column_names=column_names)
+
+
+def _normalise(query: str) -> str:
+    return re.sub(r"\s+", " ", query.strip())
+
+
+def _split_column_list(fragment: str) -> list[str]:
+    columns = []
+    for part in fragment.split(","):
+        cleaned = part.strip().strip("`\"[]")
+        if not cleaned:
+            continue
+        cleaned = re.sub(r"\s+(asc|desc)$", "", cleaned, flags=re.IGNORECASE)
+        if re.fullmatch(r"\d+", cleaned):
+            continue
+        match = re.fullmatch(_COLUMN_REF_RE, cleaned)
+        if match:
+            columns.append(match.group(1))
+    return columns
+
+
+def analyze_queries(
+    queries: Iterable[str],
+    column_names: Iterable[str] | None = None,
+) -> dict[str, ColumnUsage]:
+    """Build :class:`ColumnUsage` profiles from raw SQL strings.
+
+    Parameters
+    ----------
+    column_names:
+        When given, only these columns are profiled (matched
+        case-insensitively); otherwise every referenced identifier gets a
+        profile.  Passing the table's actual headers avoids attributing usage
+        of unrelated tables' columns.
+    """
+    restrict = None
+    if column_names is not None:
+        restrict = {name.lower(): name for name in column_names}
+    usages: dict[str, ColumnUsage] = {}
+
+    def bucket(raw_name: str) -> ColumnUsage | None:
+        key = raw_name.lower()
+        if restrict is not None:
+            if key not in restrict:
+                return None
+            canonical = restrict[key]
+        else:
+            canonical = raw_name
+        if canonical not in usages:
+            usages[canonical] = ColumnUsage(column_name=canonical)
+        return usages[canonical]
+
+    for raw_query in queries:
+        query = _normalise(raw_query)
+        lowered = query.lower()
+        mentioned: set[str] = set()
+
+        for pattern, attribute in (
+            (_NUMERIC_AGG_PATTERN, "numeric_aggregations"),
+            (_MIN_MAX_PATTERN, "extremal_aggregations"),
+        ):
+            for match in pattern.finditer(query):
+                usage = bucket(match.group(2))
+                if usage:
+                    setattr(usage, attribute, getattr(usage, attribute) + 1)
+                    mentioned.add(usage.column_name)
+        for match in _COUNT_DISTINCT_PATTERN.finditer(query):
+            usage = bucket(match.group(1))
+            if usage:
+                usage.distinct_counts += 1
+                mentioned.add(usage.column_name)
+        for clause_pattern, attribute in ((_GROUP_BY_PATTERN, "group_by_uses"), (_ORDER_BY_PATTERN, "order_by_uses")):
+            clause = clause_pattern.search(query)
+            if clause:
+                for name in _split_column_list(clause.group(1)):
+                    usage = bucket(name)
+                    if usage:
+                        setattr(usage, attribute, getattr(usage, attribute) + 1)
+                        mentioned.add(usage.column_name)
+        for match in _JOIN_ON_PATTERN.finditer(query):
+            for name in (match.group(1), match.group(2)):
+                usage = bucket(name)
+                if usage:
+                    usage.join_key_uses += 1
+                    mentioned.add(usage.column_name)
+        for match in _WHERE_DATE_PATTERN.finditer(query):
+            usage = bucket(match.group(1))
+            if usage:
+                usage.date_comparisons += 1
+                mentioned.add(usage.column_name)
+        for match in _WHERE_EQUALITY_PATTERN.finditer(query):
+            usage = bucket(match.group(1))
+            if usage:
+                usage.equality_filters += 1
+                mentioned.add(usage.column_name)
+        for match in _LIKE_PATTERN.finditer(query):
+            usage = bucket(match.group(1))
+            if usage:
+                usage.like_patterns.append(match.group(2))
+                mentioned.add(usage.column_name)
+
+        # Generic mention counting for restricted columns (word-boundary match).
+        if restrict is not None:
+            for key, canonical in restrict.items():
+                if re.search(rf"\b{re.escape(key)}\b", lowered):
+                    usage = bucket(canonical)
+                    if usage:
+                        mentioned.add(canonical)
+        for name in mentioned:
+            usages[name].mentions += 1
+    return usages

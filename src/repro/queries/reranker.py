@@ -1,0 +1,100 @@
+"""Query-aware re-ranking of column type predictions.
+
+Turns the usage profiles extracted by :mod:`repro.queries.parser` into a
+prior over semantic types and applies it to a column's candidate ranking:
+candidates whose expected data kind contradicts how users query the column
+are damped, candidates it supports are boosted.  The signal is deliberately a
+*prior*, not a step of its own — query logs are sparse and biased toward the
+tables analysts already understand — so it can only shift, never create,
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ontology import DataKind, TypeOntology
+from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
+from repro.queries.parser import ColumnUsage
+
+__all__ = ["QueryRerankerConfig", "QueryAwareReranker"]
+
+
+@dataclass
+class QueryRerankerConfig:
+    """Strength of the query prior."""
+
+    #: Multiplicative boost for candidates the usage profile supports.
+    boost: float = 1.15
+    #: Multiplicative damping for candidates the usage profile contradicts.
+    damp: float = 0.7
+    #: Ignore profiles with fewer than this many query mentions.
+    min_mentions: int = 1
+
+
+class QueryAwareReranker:
+    """Adjusts candidate confidences using SQL usage signals."""
+
+    #: Identifier-flavoured types boosted for join keys / COUNT(DISTINCT).
+    _IDENTIFIER_TYPES = frozenset(
+        {"id", "order_id", "customer_id", "product_id", "patient_id", "uuid",
+         "transaction_id", "invoice_number", "sku", "code", "account_number"}
+    )
+
+    def __init__(self, ontology: TypeOntology, config: QueryRerankerConfig | None = None) -> None:
+        self.ontology = ontology
+        self.config = config or QueryRerankerConfig()
+
+    # --------------------------------------------------------------- reranking
+    def rerank_scores(self, scores: list[TypeScore], usage: ColumnUsage | None) -> list[TypeScore]:
+        """Return a new ranking with the query prior applied."""
+        if not scores or usage is None or usage.mentions < self.config.min_mentions:
+            return list(scores)
+        adjusted = []
+        for score in scores:
+            factor = self._factor_for(score.type_name, usage)
+            adjusted.append(TypeScore(confidence=min(score.confidence * factor, 1.0), type_name=score.type_name))
+        adjusted.sort(key=lambda s: (-s.confidence, s.type_name))
+        return adjusted
+
+    def rerank_prediction(
+        self, prediction: TablePrediction, usages: dict[str, ColumnUsage]
+    ) -> TablePrediction:
+        """Apply the prior to every column of a table prediction."""
+        columns = []
+        for column_prediction in prediction.columns:
+            usage = usages.get(column_prediction.column_name)
+            columns.append(
+                ColumnPrediction(
+                    column_index=column_prediction.column_index,
+                    column_name=column_prediction.column_name,
+                    scores=self.rerank_scores(column_prediction.scores, usage),
+                    source_step=column_prediction.source_step + "+queries" if usage else column_prediction.source_step,
+                    abstained=column_prediction.abstained,
+                    step_scores=column_prediction.step_scores,
+                )
+            )
+        return TablePrediction(
+            table_name=prediction.table_name,
+            columns=columns,
+            step_trace=dict(prediction.step_trace),
+            step_seconds=dict(prediction.step_seconds),
+        )
+
+    # ------------------------------------------------------------------ priors
+    def _factor_for(self, type_name: str, usage: ColumnUsage) -> float:
+        if type_name not in self.ontology:
+            return 1.0
+        kind = self.ontology.get(type_name).kind
+        config = self.config
+        factor = 1.0
+        if usage.is_measure_like:
+            factor *= config.boost if kind is DataKind.NUMERIC else config.damp
+        if usage.is_temporal_like:
+            factor *= config.boost if kind is DataKind.TEMPORAL else config.damp
+        if usage.is_identifier_like:
+            factor *= config.boost if type_name in self._IDENTIFIER_TYPES else 1.0
+        if usage.is_dimension_like and kind is DataKind.NUMERIC and not usage.is_measure_like:
+            # Grouped/filtered but never aggregated: numeric measures are unlikely.
+            factor *= config.damp
+        return factor

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Expensive artifacts (a trained classifier, a fully pretrained SigmaTyper) are
+session-scoped and use deliberately small corpora / few epochs so the whole
+suite stays fast while still exercising the real training code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SigmaTyper, SigmaTyperConfig, Table
+from repro.adaptation import GlobalModelConfig
+from repro.core.ontology import build_default_ontology
+from repro.corpus import GitTablesConfig, GitTablesGenerator, build_ood_corpus
+from repro.embedding_model import ColumnFeaturizer, TableEmbeddingClassifier
+from repro.nn import MLPConfig
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    """The default DBpedia-style ontology (includes the unknown type)."""
+    return build_default_ontology()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small GitTables-like training corpus (30 tables)."""
+    return GitTablesGenerator(GitTablesConfig(num_tables=45, seed=11)).generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def eval_corpus():
+    """A held-out GitTables-like corpus from a different seed (10 tables)."""
+    return GitTablesGenerator(GitTablesConfig(num_tables=10, seed=4242)).generate_corpus()
+
+
+@pytest.fixture(scope="session")
+def background_corpus():
+    """A small OOD corpus used as the unknown-class background set."""
+    return build_ood_corpus(num_tables=8, seed=77)
+
+
+@pytest.fixture()
+def fig3_table():
+    """The exact running example of Fig. 3 in the paper."""
+    return Table.from_columns_dict(
+        {
+            "Name": ["Han Phi", "Thomas Do", "Alexis Nan"],
+            "Income": ["$ 50K", "$ 60K", "$ 70K"],
+            "Company": ["nytco", "Adyen", "Sigma"],
+            "Cities": ["New York", "Amsterdam", "San Francisco"],
+        },
+        name="fig3",
+        semantic_types={"Name": "name", "Income": "salary", "Company": "company", "Cities": "city"},
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_classifier(small_corpus, background_corpus):
+    """A TableEmbeddingClassifier trained once for the whole session."""
+    classifier = TableEmbeddingClassifier(
+        featurizer=ColumnFeaturizer(),
+        mlp_config=MLPConfig(max_epochs=22, hidden_sizes=(96, 48), seed=5),
+    )
+    classifier.fit(small_corpus, background_corpus=background_corpus)
+    return classifier
+
+
+@pytest.fixture(scope="session")
+def pretrained_typer():
+    """A small but fully assembled SigmaTyper (all three pipeline steps)."""
+    config = SigmaTyperConfig(
+        global_model=GlobalModelConfig(
+            pretraining_tables=40,
+            background_tables=10,
+            mlp=MLPConfig(max_epochs=15, hidden_sizes=(96, 48), seed=9),
+            seed=21,
+        )
+    )
+    return SigmaTyper.pretrained(config=config)

@@ -1,0 +1,119 @@
+"""Unit tests for score aggregation and τ calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import (
+    Aggregator,
+    calibrate_tau,
+    hard_majority_vote,
+    max_confidence_vote,
+    soft_majority_vote,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.prediction import TypeScore
+
+
+def scores(**kwargs):
+    return [TypeScore(confidence=v, type_name=k) for k, v in kwargs.items()]
+
+
+class TestSoftMajorityVote:
+    def test_agreement_beats_single_step(self):
+        combined = soft_majority_vote(
+            {
+                "header_matching": scores(city=0.8),
+                "value_lookup": scores(city=0.7, country=0.9),
+            }
+        )
+        # City is endorsed by both steps (avg 0.75), country by one (avg 0.45).
+        assert combined[0].type_name == "city"
+        assert combined[0].confidence == pytest.approx(0.75)
+        by_type = {s.type_name: s.confidence for s in combined}
+        assert by_type["country"] == pytest.approx(0.45)
+
+    def test_step_weights(self):
+        combined = soft_majority_vote(
+            {"a": scores(x=1.0), "b": scores(y=1.0)},
+            step_weights={"a": 3.0, "b": 1.0},
+        )
+        by_type = {s.type_name: s.confidence for s in combined}
+        assert by_type["x"] == pytest.approx(0.75)
+        assert by_type["y"] == pytest.approx(0.25)
+
+    def test_empty_input(self):
+        assert soft_majority_vote({}) == []
+
+    def test_steps_with_no_scores_still_count_in_denominator(self):
+        combined = soft_majority_vote({"a": scores(x=1.0), "b": []})
+        assert combined[0].confidence == pytest.approx(0.5)
+
+
+class TestHardMajorityVote:
+    def test_vote_share(self):
+        combined = hard_majority_vote(
+            {
+                "a": scores(city=0.9),
+                "b": scores(city=0.6, country=0.5),
+                "c": scores(country=0.95),
+            }
+        )
+        by_type = {s.type_name: s.confidence for s in combined}
+        assert by_type["city"] == pytest.approx(2 / 3)
+        assert by_type["country"] == pytest.approx(1 / 3)
+
+    def test_tie_broken_by_raw_confidence(self):
+        combined = hard_majority_vote({"a": scores(x=0.95), "b": scores(y=0.55)})
+        assert combined[0].type_name == "x"
+
+    def test_empty(self):
+        assert hard_majority_vote({}) == []
+
+
+class TestMaxConfidenceVote:
+    def test_maximum_kept(self):
+        combined = max_confidence_vote({"a": scores(x=0.4), "b": scores(x=0.9, y=0.3)})
+        by_type = {s.type_name: s.confidence for s in combined}
+        assert by_type["x"] == 0.9
+        assert by_type["y"] == 0.3
+
+
+class TestAggregator:
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Aggregator(method="median")
+
+    @pytest.mark.parametrize("method", ["soft_majority", "hard_majority", "max"])
+    def test_all_methods_run(self, method):
+        aggregator = Aggregator(method=method)
+        combined = aggregator.combine({"a": scores(x=0.8), "b": scores(x=0.6, y=0.4)})
+        assert combined[0].type_name == "x"
+
+
+class TestCalibrateTau:
+    def test_reaches_target_precision(self):
+        # Correct predictions have high confidence, wrong ones low confidence.
+        pairs = [(0.9, True)] * 80 + [(0.95, True)] * 10 + [(0.3, False)] * 30 + [(0.7, False)] * 5
+        tau = calibrate_tau(pairs, target_precision=0.95)
+        retained = [correct for confidence, correct in pairs if confidence >= tau]
+        precision = sum(retained) / len(retained)
+        assert precision >= 0.95
+        assert 0.0 < tau <= 1.0
+
+    def test_prefers_lowest_tau_that_meets_target(self):
+        pairs = [(0.9, True), (0.8, True), (0.2, False)]
+        tau = calibrate_tau(pairs, target_precision=1.0)
+        assert tau <= 0.8
+
+    def test_unreachable_target_returns_best_effort(self):
+        pairs = [(0.9, False), (0.8, False)]
+        tau = calibrate_tau(pairs, target_precision=0.99)
+        assert 0.0 <= tau <= 1.0
+
+    def test_empty_input(self):
+        assert calibrate_tau([], target_precision=0.9) == 0.0
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_tau([(0.5, True)], target_precision=0.0)

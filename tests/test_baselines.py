@@ -1,0 +1,111 @@
+"""Unit tests for the baseline detectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    HeaderOnlyBaseline,
+    RegexDictionaryBaseline,
+    SatoLikeBaseline,
+    SherlockLikeBaseline,
+)
+from repro.core.errors import ModelNotTrainedError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.table import Column, Table
+from repro.evaluation import evaluate_annotator
+from repro.nn import MLPConfig
+
+
+class TestRegexDictionaryBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return RegexDictionaryBaseline()
+
+    def test_detects_regex_types(self, baseline):
+        column = Column("contact", ["a@x.com", "b@y.org", "c@z.io"])
+        assert baseline.predict_type(column) == "email"
+
+    def test_detects_dictionary_types(self, baseline):
+        column = Column("place", ["Amsterdam", "Paris", "Tokyo", "Berlin"])
+        assert baseline.predict_type(column) == "city"
+
+    def test_abstains_on_free_text(self, baseline):
+        column = Column("notes", ["completely free text", "another remark", "more words"])
+        assert baseline.predict_type(column) == UNKNOWN_TYPE
+
+    def test_limited_coverage(self, baseline, ontology):
+        leaf_types = [t.name for t in ontology if not ontology.children(t.name) and t.name != UNKNOWN_TYPE]
+        assert len(baseline.covered_types) < len(leaf_types)
+
+    def test_annotate_table(self, baseline, fig3_table):
+        prediction = baseline.annotate(fig3_table)
+        assert len(prediction) == 4
+        assert prediction.prediction_for("Cities").predicted_type == "city"
+
+    def test_fit_is_noop(self, baseline, small_corpus):
+        assert baseline.fit(small_corpus) is baseline
+
+
+class TestHeaderOnlyBaseline:
+    @pytest.fixture(scope="class")
+    def baseline(self, ontology):
+        return HeaderOnlyBaseline(ontology)
+
+    def test_header_match(self, baseline):
+        assert baseline.predict_type(Column("salary", ["1", "2"])) == "salary"
+
+    def test_never_uses_values(self, baseline):
+        # Identical header, wildly different values: prediction must not change.
+        numbers = Column("mystery", ["1", "2", "3"])
+        emails = Column("mystery", ["a@x.com", "b@y.com", "c@z.com"])
+        assert baseline.predict_type(numbers) == baseline.predict_type(emails)
+
+    def test_abstains_on_uninformative_header(self, baseline):
+        scores = baseline.predict_column(Column("col_7", ["a@x.com", "b@y.com"]))
+        assert not scores or scores[0].type_name != "email"
+
+
+class TestLearnedBaselines:
+    @pytest.fixture(scope="class")
+    def sherlock(self, small_corpus):
+        baseline = SherlockLikeBaseline(mlp_config=MLPConfig(max_epochs=25, hidden_sizes=(64,), seed=1))
+        baseline.fit(small_corpus)
+        return baseline
+
+    @pytest.fixture(scope="class")
+    def sato(self, small_corpus):
+        baseline = SatoLikeBaseline(mlp_config=MLPConfig(max_epochs=25, hidden_sizes=(64,), seed=1))
+        baseline.fit(small_corpus)
+        return baseline
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(ModelNotTrainedError):
+            SherlockLikeBaseline().predict_type(Column("x", ["1"]))
+
+    def test_sherlock_predicts_from_values_only(self, sherlock):
+        emails = Column("anything", ["a@x.com", "b@y.org", "c@corp.net", "d@mail.io"])
+        top3 = [score.type_name for score in sherlock.predict_column(emails)[:3]]
+        assert "email" in top3
+
+    def test_sherlock_ignores_table_context(self, sherlock, fig3_table):
+        column = fig3_table["Income"]
+        assert sherlock.predict_column(column, fig3_table) == sherlock.predict_column(column, None)
+
+    def test_sato_uses_table_context(self, sato):
+        column = Column("value", ["75", "82", "64", "91"])
+        medical_table = Table([column, Column("patient_id", ["MRN1", "MRN2", "MRN3", "MRN4"]),
+                               Column("bp", ["120/80", "130/85", "118/76", "140/90"])])
+        commerce_table = Table([column, Column("product", ["Desk", "Chair", "Lamp", "Mouse"]),
+                                Column("order_id", ["1", "2", "3", "4"])])
+        medical_scores = sato.predict_column(column, medical_table)
+        commerce_scores = sato.predict_column(column, commerce_table)
+        assert [s.type_name for s in medical_scores] != [s.type_name for s in commerce_scores] or [
+            round(s.confidence, 6) for s in medical_scores
+        ] != [round(s.confidence, 6) for s in commerce_scores]
+
+    def test_learned_baselines_beat_chance_on_held_out_data(self, sherlock, sato, eval_corpus):
+        sherlock_result = evaluate_annotator(sherlock, eval_corpus, name="sherlock")
+        sato_result = evaluate_annotator(sato, eval_corpus, name="sato")
+        assert sherlock_result.metrics.accuracy > 0.2
+        assert sato_result.metrics.accuracy > 0.2

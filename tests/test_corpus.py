@@ -1,0 +1,259 @@
+"""Unit tests for the synthetic corpora (generators, GitTables-like,
+WebTables-like, shift scenarios) and the corpus container."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import CorpusError
+from repro.core.table import Column, Table
+from repro.corpus import (
+    GITTABLES_THEMES,
+    GitTablesConfig,
+    GitTablesGenerator,
+    OOD_PROFILES,
+    TYPE_PROFILES,
+    TableCorpus,
+    WebTablesGenerator,
+    build_covariate_shift_corpus,
+    build_label_shift_corpus,
+    build_ood_corpus,
+    build_scenario,
+    generatable_types,
+    generate_values,
+    ood_types,
+    profile_for,
+)
+from repro.corpus.webtables import WebTablesConfig
+
+
+class TestValueGenerators:
+    def test_every_profile_generates_values(self):
+        rng = random.Random(0)
+        for type_name in generatable_types():
+            values = generate_values(type_name, rng, 5)
+            assert len(values) == 5
+            assert all(isinstance(value, str) and value for value in values)
+
+    def test_every_profile_supports_shifted_style(self):
+        rng = random.Random(1)
+        for type_name in generatable_types():
+            values = generate_values(type_name, rng, 3, style="shifted")
+            assert len(values) == 3
+
+    def test_ood_profiles_generate_values(self):
+        rng = random.Random(2)
+        for type_name in ood_types():
+            values = OOD_PROFILES[type_name].generate(rng, 4, "default")
+            assert len(values) == 4
+
+    def test_ood_types_are_not_in_the_ontology(self, ontology):
+        assert all(type_name not in ontology for type_name in ood_types())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CorpusError):
+            generate_values("definitely_not_a_type", random.Random(0), 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(CorpusError):
+            generate_values("city", random.Random(0), -1)
+
+    def test_profiles_have_headers(self):
+        for profile in TYPE_PROFILES.values():
+            assert profile.headers, f"{profile.type_name} has no headers"
+
+    def test_header_pool_styles(self):
+        profile = profile_for("salary")
+        assert profile.header_pool("dirty") == profile.dirty_headers
+        assert profile.header_pool("verbose") == profile.verbose_headers
+        assert profile.header_pool("clean") == profile.headers
+
+    def test_generation_is_reproducible(self):
+        first = generate_values("email", random.Random(42), 10)
+        second = generate_values("email", random.Random(42), 10)
+        assert first == second
+
+
+class TestGitTablesGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return GitTablesGenerator(GitTablesConfig(num_tables=25, seed=3)).generate_corpus()
+
+    def test_table_count(self, corpus):
+        assert len(corpus) == 25
+
+    def test_shapes_within_configured_bounds(self, corpus):
+        config = GitTablesConfig()
+        for table in corpus:
+            assert config.min_columns <= table.num_columns <= config.max_columns
+            assert config.min_rows <= table.num_rows <= config.max_rows
+
+    def test_columns_are_annotated_with_leaf_types(self, corpus, ontology):
+        labeled = corpus.labeled_columns()
+        assert len(labeled) > 0.9 * corpus.num_columns
+        for entry in labeled:
+            assert entry.label in ontology
+
+    def test_ground_truth_matches_generator_metadata(self, corpus):
+        for entry in corpus.labeled_columns():
+            assert entry.column.metadata.get("generator_type") == entry.label
+
+    def test_metadata_theme_recorded(self, corpus):
+        themes = {theme.name for theme in GITTABLES_THEMES}
+        for table in corpus:
+            assert table.metadata["theme"] in themes
+            assert table.metadata["source"] == "gittables-like"
+
+    def test_reproducible_with_seed(self):
+        first = GitTablesGenerator(GitTablesConfig(num_tables=5, seed=9)).generate_corpus()
+        second = GitTablesGenerator(GitTablesConfig(num_tables=5, seed=9)).generate_corpus()
+        assert [t.name for t in first] == [t.name for t in second]
+        assert [t.column_names for t in first] == [t.column_names for t in second]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(CorpusError):
+            GitTablesGenerator(GitTablesConfig(min_columns=5, max_columns=2))
+        with pytest.raises(CorpusError):
+            GitTablesGenerator(GitTablesConfig(min_rows=10, max_rows=1))
+        with pytest.raises(CorpusError):
+            GitTablesConfig(themes=("no_such_theme",)).selected_themes()
+
+    def test_theme_restriction(self):
+        config = GitTablesConfig(num_tables=5, themes=("medical_records",), seed=1)
+        corpus = GitTablesGenerator(config).generate_corpus()
+        assert all(table.metadata["theme"] == "medical_records" for table in corpus)
+
+    def test_null_injection(self):
+        config = GitTablesConfig(num_tables=10, null_cell_probability=0.3, seed=5)
+        corpus = GitTablesGenerator(config).generate_corpus()
+        null_fractions = [entry.column.null_fraction() for entry in corpus.columns()]
+        assert sum(null_fractions) / len(null_fractions) > 0.15
+
+
+class TestWebTablesGenerator:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return WebTablesGenerator(WebTablesConfig(num_tables=20, seed=6)).generate_corpus()
+
+    def test_tables_are_small(self, corpus):
+        for table in corpus:
+            assert table.num_columns <= 6
+            assert table.num_rows <= 30
+
+    def test_web_tables_cover_fewer_types_than_database_tables(self, corpus):
+        covered = WebTablesGenerator.covered_types()
+        assert covered <= set(TYPE_PROFILES)
+        # The web corpus deliberately misses most enterprise types.
+        assert len(covered) < 0.5 * len(TYPE_PROFILES)
+        assert "invoice_number" not in covered
+        assert "iban" not in covered
+
+    def test_headers_are_verbose_style(self, corpus):
+        # Verbose headers are title-cased human phrases, not snake_case codes.
+        headers = [column.name for table in corpus for column in table.columns]
+        assert any(" " in header or header.istitle() for header in headers)
+
+    def test_invalid_config(self):
+        with pytest.raises(CorpusError):
+            WebTablesGenerator(WebTablesConfig(min_columns=4, max_columns=2))
+
+
+class TestShiftScenarios:
+    def test_covariate_shift_keeps_known_labels(self, ontology):
+        corpus = build_covariate_shift_corpus(num_tables=5, seed=1)
+        for entry in corpus.labeled_columns():
+            assert entry.label in ontology
+
+    def test_label_shift_header_disagrees_with_label(self):
+        corpus = build_label_shift_corpus(num_tables=10, seed=2)
+        shifted = [
+            entry for entry in corpus.columns() if "label_shift" in entry.column.metadata
+        ]
+        assert len(shifted) == 10
+        for entry in shifted:
+            header_type, true_type = entry.column.metadata["label_shift"].split("->")
+            assert entry.label == true_type
+            assert header_type != true_type
+
+    def test_ood_corpus_marks_ood_columns(self, ontology):
+        corpus = build_ood_corpus(num_tables=5, seed=3)
+        ood_columns = [entry for entry in corpus.columns() if str(entry.label).startswith("ood:")]
+        in_dist = [entry for entry in corpus.columns() if entry.label and not str(entry.label).startswith("ood:")]
+        assert ood_columns and in_dist
+        for entry in ood_columns:
+            assert entry.label.split(":", 1)[1] not in ontology
+
+    def test_build_scenario_dispatch(self):
+        for kind in ("covariate", "label", "ood"):
+            scenario = build_scenario(kind, num_tables=3)
+            assert scenario.kind == kind
+            assert len(scenario.corpus) > 0
+        with pytest.raises(CorpusError):
+            build_scenario("nonsense")
+
+
+class TestTableCorpus:
+    @pytest.fixture()
+    def corpus(self) -> TableCorpus:
+        tables = [
+            Table([Column("a", ["1"], semantic_type="id"), Column("b", ["x"], semantic_type="name")], name="t1"),
+            Table([Column("c", ["2"], semantic_type="id"), Column("d", ["y"])], name="t2"),
+        ]
+        return TableCorpus(tables, name="unit")
+
+    def test_counts(self, corpus):
+        assert len(corpus) == 2
+        assert corpus.num_columns == 4
+        assert corpus.num_rows == 2
+
+    def test_label_distribution(self, corpus):
+        assert corpus.label_distribution() == {"id": 2, "name": 1}
+        assert corpus.semantic_types() == ["id", "name"]
+
+    def test_columns_of_type(self, corpus):
+        assert len(corpus.columns_of_type("id")) == 2
+
+    def test_labeled_columns_have_provenance(self, corpus):
+        entry = corpus.labeled_columns()[0]
+        assert entry.table.name == "t1"
+        assert entry.column_index == 0
+        assert "name" in entry.neighbor_types
+
+    def test_merge_and_filter(self, corpus):
+        merged = corpus.merge(corpus)
+        assert len(merged) == 4
+        filtered = corpus.filter_tables(lambda table: table.name == "t1")
+        assert len(filtered) == 1
+
+    def test_restrict_types_clears_other_labels(self, corpus):
+        restricted = corpus.restrict_types(["id"])
+        assert restricted.label_distribution() == {"id": 2}
+        # Original untouched.
+        assert corpus.label_distribution()["name"] == 1
+
+    def test_split_no_leakage_and_bounds(self):
+        corpus = GitTablesGenerator(GitTablesConfig(num_tables=10, seed=8)).generate_corpus()
+        train, test = corpus.split(0.7, seed=1)
+        assert len(train) + len(test) == 10
+        assert len(train) >= 1 and len(test) >= 1
+        assert {id(t) for t in train}.isdisjoint({id(t) for t in test})
+
+    def test_split_invalid_fraction(self, corpus):
+        with pytest.raises(CorpusError):
+            corpus.split(1.5)
+
+    def test_sample_tables(self, corpus):
+        assert len(corpus.sample_tables(1, seed=0)) == 1
+        assert len(corpus.sample_tables(10)) == 2
+
+    def test_round_trip_dict(self, corpus):
+        restored = TableCorpus.from_dict(corpus.to_dict())
+        assert len(restored) == 2
+        assert restored.label_distribution() == corpus.label_distribution()
+
+    def test_summary_keys(self, corpus):
+        summary = corpus.summary()
+        assert summary["tables"] == 2
+        assert summary["distinct_types"] == 2

@@ -1,0 +1,173 @@
+"""Unit tests for primitive data-type inference."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.datatypes import (
+    DataType,
+    coerce_numeric,
+    infer_column_type,
+    infer_value_type,
+    is_null,
+    parse_bool,
+    parse_date,
+    parse_number,
+)
+
+
+class TestIsNull:
+    def test_none_is_null(self):
+        assert is_null(None)
+
+    def test_empty_string_is_null(self):
+        assert is_null("")
+
+    @pytest.mark.parametrize("token", ["N/A", "na", "NULL", "none", "-", "?", "NaN"])
+    def test_common_null_tokens(self, token):
+        assert is_null(token)
+
+    def test_nan_float_is_null(self):
+        assert is_null(float("nan"))
+
+    def test_regular_values_are_not_null(self):
+        assert not is_null("0")
+        assert not is_null(0)
+        assert not is_null("hello")
+
+
+class TestParseBool:
+    @pytest.mark.parametrize("value,expected", [("true", True), ("Yes", True), ("N", False), ("FALSE", False)])
+    def test_recognised_tokens(self, value, expected):
+        assert parse_bool(value) is expected
+
+    def test_bare_digits_are_not_booleans(self):
+        assert parse_bool("0") is None
+        assert parse_bool("1") is None
+
+    def test_python_bool_passthrough(self):
+        assert parse_bool(True) is True
+
+    def test_unrecognised_returns_none(self):
+        assert parse_bool("maybe") is None
+
+
+class TestParseNumber:
+    def test_plain_integer(self):
+        assert parse_number("42") == 42.0
+
+    def test_thousands_separators(self):
+        assert parse_number("1,234,567") == 1234567.0
+
+    def test_currency_symbol(self):
+        assert parse_number("$ 1,200.50") == pytest.approx(1200.50)
+
+    def test_magnitude_suffixes(self):
+        assert parse_number("50K") == 50_000
+        assert parse_number("3.2M") == pytest.approx(3_200_000)
+        assert parse_number("1B") == 1_000_000_000
+
+    def test_percentage_face_value(self):
+        assert parse_number("12.5%") == pytest.approx(12.5)
+
+    def test_accounting_negative(self):
+        assert parse_number("(1,500)") == -1500.0
+
+    def test_scientific_notation(self):
+        assert parse_number("1.5e3") == 1500.0
+
+    def test_non_numeric_returns_none(self):
+        assert parse_number("Amsterdam") is None
+        assert parse_number("12 Main St") is None
+
+    def test_null_returns_none(self):
+        assert parse_number("") is None
+        assert parse_number(None) is None
+
+    def test_python_numbers_passthrough(self):
+        assert parse_number(7) == 7.0
+        assert parse_number(2.5) == 2.5
+
+    def test_bool_is_not_a_number(self):
+        assert parse_number(True) is None
+
+
+class TestParseDate:
+    def test_iso_date(self):
+        assert parse_date("2023-05-17") == "date"
+
+    def test_us_date(self):
+        assert parse_date("5/17/2023") == "date"
+
+    def test_iso_datetime(self):
+        assert parse_date("2023-05-17T08:30:00Z") == "datetime"
+
+    def test_textual_month(self):
+        assert parse_date("17 May 2023") == "date"
+
+    def test_non_date(self):
+        assert parse_date("hello") is None
+        assert parse_date("12345") is None
+
+
+class TestInferValueType:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("42", DataType.INTEGER),
+            ("3.14", DataType.FLOAT),
+            ("$5.00", DataType.FLOAT),
+            ("true", DataType.BOOLEAN),
+            ("2022-01-01", DataType.DATE),
+            ("2022-01-01 10:00:00", DataType.DATETIME),
+            ("hello world", DataType.TEXT),
+            ("", DataType.EMPTY),
+        ],
+    )
+    def test_single_values(self, value, expected):
+        assert infer_value_type(value) is expected
+
+    def test_python_native_types(self):
+        assert infer_value_type(5) is DataType.INTEGER
+        assert infer_value_type(5.5) is DataType.FLOAT
+        assert infer_value_type(True) is DataType.BOOLEAN
+
+
+class TestInferColumnType:
+    def test_integer_column(self):
+        assert infer_column_type(["1", "2", "3", "4"]) is DataType.INTEGER
+
+    def test_mixed_int_float_is_float(self):
+        assert infer_column_type(["1", "2.5", "3", "4.5"]) is DataType.FLOAT
+
+    def test_text_column(self):
+        assert infer_column_type(["a", "b", "c"]) is DataType.TEXT
+
+    def test_empty_column(self):
+        assert infer_column_type(["", None, "N/A"]) is DataType.EMPTY
+
+    def test_nulls_are_ignored(self):
+        assert infer_column_type(["1", None, "2", "", "3"]) is DataType.INTEGER
+
+    def test_mixed_column(self):
+        values = ["1", "hello", "2022-01-01", "2", "world", "3.5", "x", "y"]
+        assert infer_column_type(values) is DataType.MIXED
+
+    def test_boolean_column(self):
+        assert infer_column_type(["yes", "no", "yes"]) is DataType.BOOLEAN
+
+    def test_date_column(self):
+        assert infer_column_type(["2022-01-01", "2022-02-01"]) is DataType.DATE
+
+    def test_threshold_respected(self):
+        # 80% integers is below the default 90% threshold.
+        values = ["1", "2", "3", "4", "x", "y"]
+        assert infer_column_type(values) is not DataType.INTEGER
+
+
+class TestCoerceNumeric:
+    def test_mixed_values(self):
+        assert coerce_numeric(["1", "x", "2.5", None]) == [1.0, 2.5]
+
+    def test_empty_input(self):
+        assert coerce_numeric([]) == []

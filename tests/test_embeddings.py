@@ -1,0 +1,96 @@
+"""Unit tests for the subword embedding model (FastText substitute)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.matching.embeddings import SubwordEmbedder, cosine_similarity
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        vector = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestSubwordEmbedder:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SubwordEmbedder(ngram_dim=0)
+        with pytest.raises(ConfigurationError):
+            SubwordEmbedder(ngram_range=(5, 3))
+
+    def test_deterministic_across_instances(self):
+        first = SubwordEmbedder().embed_text("customer name")
+        second = SubwordEmbedder().embed_text("customer name")
+        np.testing.assert_allclose(first, second)
+
+    def test_dim_without_fit(self):
+        embedder = SubwordEmbedder(ngram_dim=64, context_dim=16)
+        assert embedder.dim == 64
+        assert embedder.embed_text("salary").shape == (64,)
+
+    def test_dim_after_fit(self):
+        embedder = SubwordEmbedder(ngram_dim=64, context_dim=16)
+        embedder.fit([["salary", "income"], ["city", "town"]])
+        assert embedder.is_fitted
+        assert embedder.dim == 80
+        assert embedder.embed_text("salary").shape == (80,)
+
+    def test_empty_text_embeds_to_zero(self):
+        embedder = SubwordEmbedder()
+        assert np.allclose(embedder.embed_text(""), 0.0)
+
+    def test_shared_subwords_increase_similarity(self):
+        embedder = SubwordEmbedder()
+        assert embedder.similarity("salary", "salaries") > embedder.similarity("salary", "country")
+
+    def test_abbreviation_robustness(self):
+        embedder = SubwordEmbedder()
+        assert embedder.similarity("cust_name", "customer_name") > embedder.similarity(
+            "cust_name", "unit_price"
+        )
+
+    def test_fit_groups_synonyms_together(self):
+        embedder = SubwordEmbedder()
+        embedder.fit(
+            [
+                ["salary", "income", "wage", "compensation"],
+                ["city", "town", "municipality"],
+                ["country", "nation"],
+            ]
+        )
+        # "income" and "salary" share no character n-grams, so only the
+        # learned component can pull them together.
+        assert embedder.similarity("income", "salary") > embedder.similarity("income", "city")
+
+    def test_fit_with_empty_sentences(self):
+        embedder = SubwordEmbedder()
+        embedder.fit([])
+        assert not embedder.is_fitted
+
+    def test_most_similar_with_sequence(self):
+        embedder = SubwordEmbedder()
+        ranked = embedder.most_similar("salary", ["salaries", "country", "price"], top_k=2)
+        assert len(ranked) == 2
+        assert ranked[0][0] == "salaries"
+
+    def test_most_similar_with_mapping(self):
+        embedder = SubwordEmbedder()
+        ranked = embedder.most_similar(
+            "zip", {"zip_code": "zip code postal", "salary": "salary income"}, top_k=1
+        )
+        assert ranked[0][0] == "zip_code"
+
+    def test_vocabulary_exposed_after_fit(self):
+        embedder = SubwordEmbedder()
+        embedder.fit([["salary", "income"]])
+        assert "salary" in embedder.vocabulary

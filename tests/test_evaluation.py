@@ -1,0 +1,153 @@
+"""Unit tests for evaluation metrics, the harness, and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import RegexDictionaryBaseline
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.corpus import GitTablesConfig, GitTablesGenerator
+from repro.evaluation import (
+    PredictionRecord,
+    evaluate_annotator,
+    evaluate_records,
+    format_kv,
+    format_table,
+    precision_coverage_curve,
+)
+
+
+def record(gold, predicted, confidence=0.9, abstained=False):
+    return PredictionRecord(
+        gold_type=gold, predicted_type=predicted, confidence=confidence, abstained=abstained
+    )
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        metrics = evaluate_records([record("city", "city"), record("salary", "salary")])
+        assert metrics.accuracy == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.coverage == 1.0
+        assert metrics.macro_f1 == 1.0
+
+    def test_abstention_costs_coverage_not_precision(self):
+        metrics = evaluate_records(
+            [
+                record("city", "city"),
+                record("salary", UNKNOWN_TYPE, confidence=0.0, abstained=True),
+            ]
+        )
+        assert metrics.coverage == 0.5
+        assert metrics.precision == 1.0
+        assert metrics.accuracy == 0.5
+
+    def test_wrong_prediction_hits_both_types(self):
+        metrics = evaluate_records([record("city", "country")])
+        assert metrics.precision == 0.0
+        assert metrics.per_type["city"].false_negatives == 1
+        assert metrics.per_type["country"].false_positives == 1
+
+    def test_macro_vs_weighted_f1(self):
+        # 9 easy columns of one type, 1 failing column of a rare type.
+        records = [record("city", "city") for _ in range(9)] + [record("iban", "email")]
+        metrics = evaluate_records(records)
+        assert metrics.weighted_f1 > metrics.macro_f1
+
+    def test_per_type_precision_recall(self):
+        metrics = evaluate_records(
+            [record("city", "city"), record("city", "city"), record("country", "city")]
+        )
+        city = metrics.per_type["city"]
+        assert city.precision == pytest.approx(2 / 3)
+        assert city.recall == 1.0
+        assert 0 < city.f1 < 1
+
+    def test_worst_types(self):
+        records = [record("city", "city"), record("iban", "email"), record("salary", "salary")]
+        metrics = evaluate_records(records)
+        worst = metrics.worst_types(1)
+        assert worst[0].type_name == "iban"
+
+    def test_empty_records(self):
+        metrics = evaluate_records([])
+        assert metrics.accuracy == 0.0
+        assert metrics.coverage == 0.0
+        assert metrics.summary()["columns"] == 0.0
+
+    def test_summary_keys(self):
+        summary = evaluate_records([record("a", "a")]).summary()
+        assert set(summary) >= {"coverage", "precision", "accuracy", "macro_f1", "weighted_f1"}
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return GitTablesGenerator(GitTablesConfig(num_tables=5, seed=61)).generate_corpus()
+
+    def test_evaluate_baseline_annotator(self, corpus):
+        result = evaluate_annotator(RegexDictionaryBaseline(), corpus, name="regex")
+        assert result.name == "regex"
+        assert result.tables == 5
+        assert 0.0 <= result.metrics.coverage <= 1.0
+        assert result.metrics.total > 0
+        assert result.summary()["system"] == "regex"
+
+    def test_callable_annotator_accepted(self, corpus):
+        baseline = RegexDictionaryBaseline()
+        result = evaluate_annotator(lambda table: baseline.annotate(table), corpus)
+        assert result.metrics.total > 0
+
+    def test_pipeline_traces_accumulated(self, pretrained_typer, corpus):
+        result = evaluate_annotator(pretrained_typer, corpus, name="sigmatyper")
+        assert result.step_trace["header_matching"] == corpus.num_columns
+        assert set(result.step_seconds) == set(result.step_trace)
+
+    def test_ood_gold_handling(self, pretrained_typer):
+        from repro.corpus import build_ood_corpus
+
+        ood = build_ood_corpus(num_tables=3, seed=13)
+        scored = evaluate_annotator(pretrained_typer, ood, name="with-ood")
+        skipped = evaluate_annotator(pretrained_typer, ood, name="skip-ood", skip_ood_gold=True)
+        assert scored.metrics.total > skipped.metrics.total
+
+
+class TestPrecisionCoverageCurve:
+    def test_monotone_coverage(self):
+        records = [
+            record("city", "city", confidence=0.9),
+            record("salary", "salary", confidence=0.7),
+            record("iban", "email", confidence=0.3),
+            record("date", "date", confidence=0.5),
+        ]
+        curve = precision_coverage_curve(records, taus=[0.0, 0.4, 0.8, 1.0])
+        coverages = [point["coverage"] for point in curve]
+        assert coverages == sorted(coverages, reverse=True)
+        # Precision improves as the low-confidence mistake is thresholded out.
+        assert curve[2]["precision"] >= curve[0]["precision"]
+
+    def test_default_tau_grid(self):
+        curve = precision_coverage_curve([record("a", "a")])
+        assert len(curve) == 21
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        rows = [{"system": "a", "f1": 0.5}, {"system": "bbbb", "f1": 0.25}]
+        text = format_table(rows, title="results")
+        lines = text.splitlines()
+        assert lines[0] == "results"
+        assert "system" in lines[1] and "f1" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_missing_cells(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "b" in text
+
+    def test_format_kv(self):
+        text = format_kv({"precision": 0.91, "coverage": 0.8}, title="summary")
+        assert text.startswith("summary")
+        assert "precision" in text

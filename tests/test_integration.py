@@ -1,0 +1,129 @@
+"""End-to-end integration tests across subsystem boundaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SigmaTyper, SigmaTyperConfig, Table
+from repro.adaptation import GlobalModelConfig
+from repro.corpus import (
+    GitTablesConfig,
+    GitTablesGenerator,
+    WebTablesGenerator,
+    build_covariate_shift_corpus,
+)
+from repro.corpus.serialization import corpus_to_json, corpus_from_json, table_from_csv, table_to_csv
+from repro.corpus.webtables import WebTablesConfig
+from repro.evaluation import evaluate_annotator, precision_coverage_curve
+from repro.evaluation.harness import PredictionRecord
+from repro.nn import MLPConfig
+
+
+class TestHeuristicsOnlySystem:
+    """The system should degrade gracefully when the learned model is omitted."""
+
+    @pytest.fixture(scope="class")
+    def heuristic_typer(self):
+        config = SigmaTyperConfig(global_model=GlobalModelConfig(pretraining_tables=15, seed=3))
+        return SigmaTyper.pretrained(config=config, include_learned_model=False)
+
+    def test_two_step_pipeline(self, heuristic_typer):
+        assert heuristic_typer.global_model.pipeline.step_names == ["header_matching", "value_lookup"]
+
+    def test_annotation_and_feedback_still_work(self, heuristic_typer, fig3_table):
+        heuristic_typer.register_customer("acme")
+        heuristic_typer.give_feedback("acme", fig3_table, "Income", "salary")
+        prediction = heuristic_typer.annotate(fig3_table, customer_id="acme")
+        assert prediction.prediction_for("Income").predicted_type == "salary"
+
+
+class TestCsvIngestionFlow:
+    def test_annotate_table_loaded_from_csv(self, pretrained_typer, tmp_path):
+        table = Table.from_columns_dict(
+            {
+                "employee": ["Ann Smith", "Bob Jones", "Cara Lee"],
+                "email": ["ann@corp.com", "bob@corp.com", "cara@corp.com"],
+                "start_date": ["2021-04-01", "2019-09-15", "2022-01-03"],
+                "annual_salary": ["98000", "85000", "112000"],
+            },
+            name="hr_export",
+        )
+        path = table_to_csv(table, tmp_path / "hr_export.csv")
+        loaded = table_from_csv(path)
+        prediction = pretrained_typer.annotate(loaded)
+        mapping = prediction.as_mapping()
+        assert mapping["email"] == "email"
+        assert mapping["annual_salary"] == "salary"
+        assert mapping["start_date"] in ("date", "timestamp", "birth_date")
+
+    def test_corpus_round_trip_then_evaluate(self, pretrained_typer, tmp_path):
+        corpus = GitTablesGenerator(GitTablesConfig(num_tables=4, seed=101)).generate_corpus()
+        restored = corpus_from_json(corpus_to_json(corpus, tmp_path / "corpus.json"))
+        result = evaluate_annotator(pretrained_typer, restored, name="restored")
+        assert result.metrics.total == len(corpus.labeled_columns())
+
+
+class TestShiftResilience:
+    def test_covariate_shift_degrades_then_value_evidence_helps(self, pretrained_typer):
+        shifted = build_covariate_shift_corpus(num_tables=6, seed=17)
+        in_distribution = GitTablesGenerator(GitTablesConfig(num_tables=6, seed=18)).generate_corpus()
+        shifted_result = evaluate_annotator(pretrained_typer, shifted, name="shifted")
+        clean_result = evaluate_annotator(pretrained_typer, in_distribution, name="clean")
+        # Covariate shift should hurt, but not destroy, accuracy.
+        assert shifted_result.metrics.accuracy <= clean_result.metrics.accuracy + 0.05
+        assert shifted_result.metrics.accuracy > 0.3
+
+    def test_web_corpus_annotation_runs(self, pretrained_typer):
+        web = WebTablesGenerator(WebTablesConfig(num_tables=5, seed=7)).generate_corpus()
+        result = evaluate_annotator(pretrained_typer, web, name="web")
+        assert result.metrics.total > 0
+
+
+class TestPrecisionCoverageIntegration:
+    def test_curve_from_live_predictions(self, pretrained_typer, eval_corpus):
+        original_tau = pretrained_typer.tau
+        pretrained_typer.set_tau(0.0)
+        try:
+            records = []
+            for table in eval_corpus:
+                prediction = pretrained_typer.annotate(table)
+                for column, column_prediction in zip(table.columns, prediction.columns):
+                    if column.semantic_type is None:
+                        continue
+                    records.append(
+                        PredictionRecord(
+                            gold_type=column.semantic_type,
+                            predicted_type=column_prediction.predicted_type,
+                            confidence=column_prediction.confidence,
+                            abstained=column_prediction.abstained,
+                        )
+                    )
+        finally:
+            pretrained_typer.set_tau(original_tau)
+        curve = precision_coverage_curve(records, taus=[0.0, 0.5, 0.9])
+        coverages = [point["coverage"] for point in curve]
+        assert coverages[0] >= coverages[-1]
+
+
+class TestAdaptationImprovesAccuracyOnNewDomain:
+    def test_feedback_rounds_increase_local_weight(self):
+        config = SigmaTyperConfig(global_model=GlobalModelConfig(pretraining_tables=15, seed=5))
+        typer = SigmaTyper.pretrained(config=config, include_learned_model=False)
+        typer.register_customer("clinic")
+        table = Table.from_columns_dict(
+            {
+                "pt": ["MRN100231", "MRN100232", "MRN100233"],
+                "result": ["7.2", "6.9", "8.1"],
+            },
+            name="lab",
+        )
+        weights = typer.customer("clinic").local_model.weights
+        assert weights.local_weight("score") == 0.0
+        previous = 0.0
+        for _ in range(3):
+            typer.give_feedback("clinic", table, "result", "score")
+            current = weights.local_weight("score")
+            assert current > previous
+            previous = current
+        prediction = typer.annotate(table, customer_id="clinic")
+        assert prediction.prediction_for("result").predicted_type == "score"

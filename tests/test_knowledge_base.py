@@ -1,0 +1,77 @@
+"""Unit tests for the offline knowledge base."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column
+from repro.lookup.knowledge_base import KnowledgeBase
+
+
+class TestConstruction:
+    def test_add_entities_counts(self):
+        kb = KnowledgeBase()
+        added = kb.add_entities("city", ["Rome", "Paris", "Rome"])
+        assert added == 2
+        assert len(kb) == 2
+
+    def test_empty_type_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KnowledgeBase().add_entities("", ["x"])
+
+    def test_default_knowledge_base_has_entities(self):
+        kb = KnowledgeBase.default()
+        assert len(kb) > 500
+        assert "city" in kb.known_types
+        assert "country" in kb.known_types
+        assert kb.entity_count("city") > 10
+
+
+class TestLookups:
+    @pytest.fixture()
+    def kb(self) -> KnowledgeBase:
+        kb = KnowledgeBase()
+        kb.add_entities("city", ["Rome", "Paris", "Amsterdam"])
+        kb.add_entities("country", ["France", "Italy"])
+        kb.add_entities("name", ["Paris"])  # ambiguous entity
+        return kb
+
+    def test_case_insensitive_by_default(self, kb):
+        assert kb.types_for_value("rome") == {"city"}
+        assert "PARIS" in kb
+
+    def test_ambiguous_values_return_multiple_types(self, kb):
+        assert kb.types_for_value("Paris") == {"city", "name"}
+
+    def test_unknown_value(self, kb):
+        assert kb.types_for_value("Atlantis") == set()
+
+    def test_case_sensitive_mode(self):
+        kb = KnowledgeBase(case_sensitive=True)
+        kb.add_entities("city", ["Rome"])
+        assert kb.types_for_value("rome") == set()
+        assert kb.types_for_value("Rome") == {"city"}
+
+    def test_lookup_column_fractions(self, kb):
+        column = Column("place", ["Rome", "Paris", "Gotham", "Amsterdam"])
+        scores = kb.lookup_column(column)
+        assert scores["city"] == pytest.approx(0.75)
+        assert scores.get("country") is None
+
+    def test_lookup_column_empty(self, kb):
+        assert kb.lookup_column(Column("x", [None, ""])) == {}
+
+    def test_lookup_column_sampling_is_deterministic(self, kb):
+        column = Column("place", ["Rome", "Paris"] * 100)
+        assert kb.lookup_column(column, sample_size=10) == kb.lookup_column(column, sample_size=10)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        kb = KnowledgeBase()
+        kb.add_entities("city", ["Rome", "Paris"])
+        kb.add_entities("country", ["Italy"])
+        restored = KnowledgeBase.from_dict(kb.to_dict())
+        assert restored.types_for_value("rome") == {"city"}
+        assert set(restored.known_types) == {"city", "country"}

@@ -1,0 +1,210 @@
+"""Unit tests for labeling functions and their store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import LabelingFunctionError
+from repro.core.table import Column, Table
+from repro.lookup.labeling_functions import (
+    CoOccurrenceLF,
+    ExpectationSuiteLF,
+    HeaderMatchLF,
+    LabelingFunctionStore,
+    LFContext,
+    MeanRangeLF,
+    RegexLF,
+    ValueRangeLF,
+    ValueSetLF,
+    labeling_function_from_dict,
+)
+from repro.profiler.expectations import Expectation, ExpectationSuite
+
+
+@pytest.fixture()
+def salary_column() -> Column:
+    return Column("income", ["50000", "60000", "70000", "65000"])
+
+
+@pytest.fixture()
+def fig3_context(fig3_table) -> LFContext:
+    return LFContext(table=fig3_table, column_index=1)
+
+
+class TestValueRangeLF:
+    def test_fraction_of_values_in_range(self, salary_column):
+        lf = ValueRangeLF("salary", low=55_000, high=80_000)
+        assert lf.apply(salary_column) == pytest.approx(0.75)
+
+    def test_all_outside_range(self, salary_column):
+        assert ValueRangeLF("salary", 0, 10).apply(salary_column) == 0.0
+
+    def test_non_numeric_column(self):
+        assert ValueRangeLF("salary", 0, 100).apply(Column("x", ["a", "b"])) == 0.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            ValueRangeLF("salary", 100, 10)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            ValueRangeLF("salary", 0, 1, weight=0)
+
+    def test_missing_target_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            ValueRangeLF("", 0, 1)
+
+
+class TestMeanRangeLF:
+    def test_fires_on_mean_inside_range(self, salary_column):
+        assert MeanRangeLF("salary", 55_000, 65_000).apply(salary_column) == 1.0
+
+    def test_silent_on_mean_outside_range(self, salary_column):
+        assert MeanRangeLF("salary", 0, 10_000).apply(salary_column) == 0.0
+
+
+class TestHeaderMatchLF:
+    def test_exact_header(self, salary_column):
+        assert HeaderMatchLF("salary", ["income"]).apply(salary_column) == 1.0
+
+    def test_fuzzy_header(self):
+        lf = HeaderMatchLF("salary", ["annual salary"])
+        assert lf.apply(Column("annual_salary", ["1"])) >= 0.85
+
+    def test_unrelated_header(self, salary_column):
+        assert HeaderMatchLF("salary", ["shipping method"]).apply(salary_column) == 0.0
+
+    def test_requires_nonempty_headers(self):
+        with pytest.raises(LabelingFunctionError):
+            HeaderMatchLF("salary", ["   "])
+
+
+class TestCoOccurrenceLF:
+    def test_fires_with_ground_truth_neighbors(self, fig3_table):
+        lf = CoOccurrenceLF("salary", ["company", "name"])
+        context = LFContext(table=fig3_table, column_index=1, neighbor_types=frozenset({"company", "name", "city"}))
+        assert lf.apply(fig3_table["Income"], context) == 1.0
+
+    def test_fires_from_headers_when_no_types_given(self, fig3_table):
+        lf = CoOccurrenceLF("salary", ["company", "name"])
+        context = LFContext(table=fig3_table, column_index=1)
+        assert lf.apply(fig3_table["Income"], context) == 1.0
+
+    def test_silent_when_required_types_absent(self, fig3_table):
+        lf = CoOccurrenceLF("salary", ["blood_type"])
+        context = LFContext(table=fig3_table, column_index=1)
+        assert lf.apply(fig3_table["Income"], context) == 0.0
+
+    def test_silent_without_table(self, salary_column):
+        assert CoOccurrenceLF("salary", ["name"]).apply(salary_column, None) == 0.0
+
+    def test_requires_types(self):
+        with pytest.raises(LabelingFunctionError):
+            CoOccurrenceLF("salary", [])
+
+
+class TestRegexAndValueSetLF:
+    def test_regex_fraction(self):
+        lf = RegexLF("email", r"[^@]+@[^@]+\.[a-z]+")
+        column = Column("contact", ["a@b.com", "not-an-email", "c@d.org"])
+        assert lf.apply(column) == pytest.approx(2 / 3)
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            RegexLF("email", "([")
+
+    def test_value_set_case_insensitive(self):
+        lf = ValueSetLF("status", ["Active", "Inactive"])
+        column = Column("s", ["active", "ACTIVE", "inactive", "other"])
+        assert lf.apply(column) == pytest.approx(0.75)
+
+    def test_value_set_case_sensitive(self):
+        lf = ValueSetLF("status", ["Active"], case_sensitive=True)
+        assert lf.apply(Column("s", ["active"])) == 0.0
+
+    def test_value_set_requires_values(self):
+        with pytest.raises(LabelingFunctionError):
+            ValueSetLF("status", [])
+
+
+class TestExpectationSuiteLF:
+    def test_success_fraction(self, salary_column):
+        suite = ExpectationSuite(
+            name="salary",
+            expectations=[
+                Expectation("values_between", {"min": 0, "max": 100_000}),
+                Expectation("mean_between", {"min": 0, "max": 10}),
+            ],
+        )
+        lf = ExpectationSuiteLF("salary", suite)
+        assert lf.apply(salary_column) == pytest.approx(0.5)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            ExpectationSuiteLF("salary", ExpectationSuite(name="empty"))
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "function",
+        [
+            ValueRangeLF("salary", 10, 20, name="r"),
+            MeanRangeLF("salary", 10, 20),
+            HeaderMatchLF("salary", ["income", "pay"]),
+            CoOccurrenceLF("salary", ["name", "company"]),
+            RegexLF("email", r"\w+@\w+"),
+            ValueSetLF("status", ["a", "b"]),
+            ExpectationSuiteLF(
+                "salary",
+                ExpectationSuite("s", [Expectation("values_between", {"min": 1, "max": 2})]),
+            ),
+        ],
+    )
+    def test_round_trip(self, function, salary_column):
+        restored = labeling_function_from_dict(function.to_dict())
+        assert type(restored) is type(function)
+        assert restored.target_type == function.target_type
+        context = LFContext()
+        assert restored.apply(salary_column, context) == pytest.approx(
+            function.apply(salary_column, context)
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LabelingFunctionError):
+            labeling_function_from_dict({"kind": "mystery", "target_type": "x"})
+
+
+class TestLabelingFunctionStore:
+    def test_add_and_query(self, salary_column):
+        store = LabelingFunctionStore(
+            [
+                HeaderMatchLF("salary", ["income"]),
+                ValueRangeLF("salary", 0, 100_000),
+                HeaderMatchLF("city", ["town"], source="user"),
+            ]
+        )
+        assert len(store) == 3
+        assert store.target_types() == ["city", "salary"]
+        assert len(store.for_type("salary")) == 2
+        assert len(store.from_source("user")) == 1
+
+    def test_score_column_keeps_best_per_type(self, salary_column):
+        store = LabelingFunctionStore(
+            [
+                HeaderMatchLF("salary", ["income"]),           # fires at 1.0
+                ValueRangeLF("salary", 0, 10),                 # fires at 0.0
+                HeaderMatchLF("city", ["town"]),               # does not fire
+            ]
+        )
+        scores = store.score_column(salary_column)
+        assert scores == {"salary": 1.0}
+
+    def test_rejects_non_lf(self):
+        with pytest.raises(LabelingFunctionError):
+            LabelingFunctionStore().add("not a labeling function")  # type: ignore[arg-type]
+
+    def test_round_trip_dicts(self, salary_column):
+        store = LabelingFunctionStore([HeaderMatchLF("salary", ["income"])])
+        restored = LabelingFunctionStore.from_dicts(store.to_dicts())
+        assert len(restored) == 1
+        assert restored.score_column(salary_column) == {"salary": 1.0}

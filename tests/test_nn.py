@@ -1,0 +1,222 @@
+"""Unit tests for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ConfigurationError, ModelNotTrainedError
+from repro.nn import (
+    Adam,
+    Dense,
+    Dropout,
+    MLPClassifier,
+    MLPConfig,
+    ReLU,
+    SGD,
+    accuracy,
+    cross_entropy,
+    cross_entropy_grad,
+    minibatches,
+    one_hot,
+    relu,
+    softmax,
+)
+
+
+class TestFunctional:
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [100.0, 100.0, 100.0]])
+        probabilities = softmax(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=1), [1.0, 1.0])
+        assert probabilities[0].argmax() == 2
+
+    def test_softmax_numerical_stability(self):
+        probabilities = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.all(np.isfinite(probabilities))
+
+    def test_cross_entropy_perfect_prediction_is_low(self):
+        confident = np.array([[10.0, -10.0]])
+        wrong = np.array([[-10.0, 10.0]])
+        targets = np.array([0])
+        assert cross_entropy(confident, targets) < cross_entropy(wrong, targets)
+
+    def test_cross_entropy_grad_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 1])
+        analytic = cross_entropy_grad(logits, targets)
+        numeric = np.zeros_like(logits)
+        epsilon = 1e-6
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus = logits.copy(); plus[i, j] += epsilon
+                minus = logits.copy(); minus[i, j] -= epsilon
+                numeric[i, j] = (cross_entropy(plus, targets) - cross_entropy(minus, targets)) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_one_hot(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+        assert accuracy(logits, np.array([1, 0])) == 0.0
+        assert accuracy(np.zeros((0, 2)), np.array([], dtype=int)) == 0.0
+
+    def test_minibatches_cover_all_rows(self):
+        rng = np.random.default_rng(1)
+        batches = list(minibatches(10, 3, rng))
+        seen = np.concatenate(batches)
+        assert sorted(seen.tolist()) == list(range(10))
+        assert max(len(batch) for batch in batches) == 3
+
+
+class TestLayers:
+    def test_dense_shapes_and_backward(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (5, 3)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.grad_weights.shape == (4, 3)
+
+    def test_dense_backward_requires_forward(self):
+        layer = Dense(2, 2, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_dense_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3, np.random.default_rng(0))
+
+    def test_relu_layer_gradient_mask(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        layer.forward(x, training=True)
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_array_equal(grad, [[0.0, 5.0]])
+
+    def test_dropout_inactive_at_inference(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_dropout_scales_at_training(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        out = layer.forward(np.ones((200, 10)), training=True)
+        # Inverted dropout keeps the expected activation roughly constant.
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            Dropout(1.0, np.random.default_rng(0))
+
+
+class TestOptimizers:
+    def test_sgd_moves_parameters_against_gradient(self):
+        parameter = np.array([1.0, 1.0])
+        SGD(learning_rate=0.1).step([parameter], [np.array([1.0, -1.0])])
+        np.testing.assert_allclose(parameter, [0.9, 1.1])
+
+    def test_adam_converges_on_quadratic(self):
+        parameter = np.array([5.0])
+        optimizer = Adam(learning_rate=0.1)
+        for _ in range(300):
+            gradient = 2 * parameter
+            optimizer.step([parameter], [gradient])
+        assert abs(parameter[0]) < 0.1
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ConfigurationError):
+            Adam(learning_rate=0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD().step([np.zeros(2)], [])
+
+
+class TestMLPClassifier:
+    def _blobs(self, n=300, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.array([[0.0, 0.0], [4.0, 4.0], [0.0, 4.0]])
+        labels = rng.integers(0, 3, size=n)
+        features = centers[labels] + rng.normal(scale=0.5, size=(n, 2))
+        return features, labels
+
+    def test_learns_separable_clusters(self):
+        features, labels = self._blobs()
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(16,), max_epochs=60, seed=1, dropout=0.0))
+        model.fit(features, labels)
+        assert accuracy(model.predict_logits(features), labels) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        model = MLPClassifier(2, 3)
+        with pytest.raises(ModelNotTrainedError):
+            model.predict_proba(np.zeros((1, 2)))
+
+    def test_probabilities_sum_to_one(self):
+        features, labels = self._blobs(150)
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(8,), max_epochs=10, seed=2))
+        model.fit(features, labels)
+        probabilities = model.predict_proba(features[:10])
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(10), atol=1e-9)
+
+    def test_single_row_prediction(self):
+        features, labels = self._blobs(100)
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(8,), max_epochs=5, seed=3))
+        model.fit(features, labels)
+        assert model.predict_proba(features[0]).shape == (1, 3)
+
+    def test_invalid_inputs_rejected(self):
+        model = MLPClassifier(2, 3)
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((5, 3)), np.zeros(5, dtype=int))
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((5, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((5, 2)), np.array([0, 1, 2, 3, 9]))
+
+    def test_warm_start_continues_training(self):
+        features, labels = self._blobs(200)
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(16,), max_epochs=5, seed=4, dropout=0.0))
+        model.fit(features, labels)
+        before = accuracy(model.predict_logits(features), labels)
+        model.fit(features, labels, warm_start=True, max_epochs=40)
+        after = accuracy(model.predict_logits(features), labels)
+        assert after >= before - 0.05
+
+    def test_get_set_weights_round_trip(self):
+        features, labels = self._blobs(100)
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(8,), max_epochs=5, seed=5))
+        model.fit(features, labels)
+        weights = model.get_weights()
+        reference = model.predict_proba(features[:5])
+        model.set_weights(weights)
+        np.testing.assert_allclose(model.predict_proba(features[:5]), reference)
+
+    def test_set_weights_shape_mismatch_rejected(self):
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(8,), max_epochs=1))
+        with pytest.raises(ConfigurationError):
+            model.set_weights([np.zeros((1, 1))])
+
+    def test_history_recorded(self):
+        features, labels = self._blobs(120)
+        model = MLPClassifier(2, 3, MLPConfig(hidden_sizes=(8,), max_epochs=6, seed=6))
+        history = model.fit(features, labels)
+        assert history.epochs >= 1
+        assert len(history.train_loss) == history.epochs
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MLPConfig(dropout=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            MLPConfig(hidden_sizes=(0,)).validate()
+        with pytest.raises(ConfigurationError):
+            MLPClassifier(0, 3)

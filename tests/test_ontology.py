@@ -1,0 +1,142 @@
+"""Unit tests for the semantic type ontology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import OntologyError
+from repro.core.ontology import (
+    UNKNOWN_TYPE,
+    DataKind,
+    SemanticType,
+    TypeOntology,
+    build_default_ontology,
+    normalize_type_name,
+)
+
+
+class TestNormalization:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [("Zip Code", "zip_code"), ("zip-code", "zip_code"), ("ZIP_CODE", "zip_code"), ("  city ", "city")],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_type_name(raw) == expected
+
+
+class TestSemanticType:
+    def test_name_is_normalised(self):
+        semantic_type = SemanticType(name="Zip Code")
+        assert semantic_type.name == "zip_code"
+        assert semantic_type.label == "zip code"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(OntologyError):
+            SemanticType(name="")
+
+    def test_all_names_includes_synonyms(self):
+        semantic_type = SemanticType(name="salary", synonyms=("income", "wage"))
+        assert "income" in semantic_type.all_names()
+        assert "salary" in semantic_type.all_names()
+
+
+class TestTypeOntology:
+    @pytest.fixture()
+    def small_ontology(self) -> TypeOntology:
+        ontology = TypeOntology()
+        ontology.register(SemanticType(name="thing"))
+        ontology.register(SemanticType(name="monetary", parent="thing", kind=DataKind.NUMERIC))
+        ontology.register(SemanticType(name="salary", parent="monetary", synonyms=("income",)))
+        ontology.register(SemanticType(name="price", parent="monetary"))
+        ontology.register(SemanticType(name="place", parent="thing"))
+        ontology.register(SemanticType(name="city", parent="place"))
+        return ontology
+
+    def test_duplicate_registration_rejected(self, small_ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.register(SemanticType(name="salary"))
+
+    def test_unknown_parent_rejected(self):
+        ontology = TypeOntology()
+        with pytest.raises(OntologyError):
+            ontology.register(SemanticType(name="child", parent="missing"))
+
+    def test_lookup_and_resolution(self, small_ontology):
+        assert "salary" in small_ontology
+        assert small_ontology.get("salary").parent == "monetary"
+        assert small_ontology.resolve("income") == "salary"
+        assert small_ontology.resolve("Income") == "salary"
+        assert small_ontology.resolve("nonexistent") is None
+
+    def test_get_unknown_raises(self, small_ontology):
+        with pytest.raises(OntologyError):
+            small_ontology.get("does_not_exist")
+
+    def test_hierarchy_queries(self, small_ontology):
+        assert [t.name for t in small_ontology.ancestors("salary")] == ["monetary", "thing"]
+        assert {t.name for t in small_ontology.children("monetary")} == {"salary", "price"}
+        assert {t.name for t in small_ontology.descendants("thing")} >= {"salary", "price", "city"}
+        assert small_ontology.is_a("salary", "thing")
+        assert not small_ontology.is_a("salary", "place")
+        assert small_ontology.depth("salary") == 2
+        assert small_ontology.depth("thing") == 0
+
+    def test_distance(self, small_ontology):
+        assert small_ontology.distance("salary", "salary") == 0
+        assert small_ontology.distance("salary", "price") == 2
+        assert small_ontology.distance("salary", "city") == 4
+
+    def test_add_synonym(self, small_ontology):
+        small_ontology.add_synonym("salary", "compensation")
+        assert small_ontology.resolve("compensation") == "salary"
+        with pytest.raises(OntologyError):
+            small_ontology.add_synonym("missing", "x")
+
+    def test_subset(self, small_ontology):
+        subset = small_ontology.subset(["salary", "city"])
+        assert len(subset) == 2
+        # Parents outside the subset are detached, not re-created.
+        assert subset.get("salary").parent is None
+
+    def test_roots(self, small_ontology):
+        assert [t.name for t in small_ontology.roots()] == ["thing"]
+
+    def test_types_of_kind(self, small_ontology):
+        numeric = {t.name for t in small_ontology.types_of_kind(DataKind.NUMERIC)}
+        assert "monetary" in numeric
+
+    def test_round_trip_dict(self, small_ontology):
+        restored = TypeOntology.from_dict(small_ontology.to_dict())
+        assert restored.type_names == small_ontology.type_names
+        assert restored.resolve("income") == "salary"
+
+
+class TestDefaultOntology:
+    def test_contains_unknown_type(self, ontology):
+        assert UNKNOWN_TYPE in ontology
+
+    def test_reasonable_size(self, ontology):
+        # The paper uses >500 DBpedia types; our offline ontology covers ~100,
+        # dominated by leaf types usable as predictions.
+        assert len(ontology) >= 90
+
+    def test_paper_example_types_present(self, ontology):
+        for name in ("salary", "revenue", "phone_number", "city", "country", "date", "id"):
+            assert name in ontology
+
+    def test_synonym_income_maps_to_salary(self, ontology):
+        assert ontology.resolve("income") == "salary"
+
+    def test_every_leaf_has_a_value_generator(self, ontology):
+        from repro.corpus.generators import TYPE_PROFILES
+
+        leaves = [
+            t.name for t in ontology
+            if not ontology.children(t.name) and t.name != UNKNOWN_TYPE
+        ]
+        missing = [name for name in leaves if name not in TYPE_PROFILES]
+        assert missing == []
+
+    def test_exclude_unknown_option(self):
+        ontology = build_default_ontology(include_unknown=False)
+        assert UNKNOWN_TYPE not in ontology

@@ -1,0 +1,129 @@
+"""Unit tests for the cascading pipeline."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+from repro.core.errors import ConfigurationError, PipelineError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.core.pipeline import CascadeConfig, PipelineStep, TypeDetectionPipeline
+from repro.core.prediction import TypeScore
+from repro.core.table import Column, Table
+
+
+class StubStep(PipelineStep):
+    """A deterministic step returning canned scores and recording its calls."""
+
+    def __init__(self, name: str, cost_rank: int, answers: dict[str, list[TypeScore]]):
+        self.name = name
+        self.cost_rank = cost_rank
+        self.answers = answers
+        self.calls: list[list[int]] = []
+
+    def predict_columns(self, table: Table, column_indices: Sequence[int] | None = None):
+        indices = list(range(table.num_columns)) if column_indices is None else list(column_indices)
+        self.calls.append(indices)
+        return {i: list(self.answers.get(table.columns[i].name, [])) for i in indices}
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_columns_dict(
+        {"confident": ["a"], "uncertain": ["b"], "unknown_col": ["c"]}, name="stub"
+    )
+
+
+class TestPipelineConstruction:
+    def test_requires_steps(self):
+        with pytest.raises(PipelineError):
+            TypeDetectionPipeline([])
+
+    def test_duplicate_step_names_rejected(self, table):
+        step_a = StubStep("same", 0, {})
+        step_b = StubStep("same", 1, {})
+        with pytest.raises(PipelineError):
+            TypeDetectionPipeline([step_a, step_b])
+
+    def test_steps_sorted_by_cost(self):
+        slow = StubStep("slow", 5, {})
+        fast = StubStep("fast", 1, {})
+        pipeline = TypeDetectionPipeline([slow, fast])
+        assert pipeline.step_names == ["fast", "slow"]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CascadeConfig(confidence_threshold=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            CascadeConfig(tau=-0.1).validate()
+        with pytest.raises(ConfigurationError):
+            CascadeConfig(top_k=0).validate()
+
+
+class TestCascadeBehaviour:
+    def _pipeline(self, table, always_run_all=False):
+        cheap = StubStep(
+            "cheap", 0, {"confident": [TypeScore(0.95, "city")], "uncertain": [TypeScore(0.4, "country")]}
+        )
+        expensive = StubStep(
+            "expensive",
+            1,
+            {
+                "confident": [TypeScore(0.9, "city")],
+                "uncertain": [TypeScore(0.8, "country")],
+                "unknown_col": [TypeScore(0.9, UNKNOWN_TYPE)],
+            },
+        )
+        config = CascadeConfig(confidence_threshold=0.85, tau=0.3, always_run_all_steps=always_run_all)
+        return TypeDetectionPipeline([cheap, expensive], config=config), cheap, expensive
+
+    def test_confident_columns_skip_later_steps(self, table):
+        pipeline, cheap, expensive = self._pipeline(table)
+        prediction = pipeline.annotate(table)
+        # The cheap step ran on all three columns; the expensive step only on
+        # the two whose confidence stayed below the threshold.
+        assert cheap.calls == [[0, 1, 2]]
+        assert expensive.calls == [[1, 2]]
+        assert prediction.step_trace == {"cheap": 3, "expensive": 2}
+
+    def test_always_run_all_steps(self, table):
+        pipeline, cheap, expensive = self._pipeline(table, always_run_all=True)
+        pipeline.annotate(table)
+        assert expensive.calls == [[0, 1, 2]]
+
+    def test_final_predictions_aggregate_steps(self, table):
+        pipeline, _, _ = self._pipeline(table)
+        prediction = pipeline.annotate(table)
+        mapping = prediction.as_mapping()
+        assert mapping["confident"] == "city"
+        assert mapping["uncertain"] == "country"
+
+    def test_unknown_top_vote_causes_abstention(self, table):
+        pipeline, _, _ = self._pipeline(table)
+        prediction = pipeline.annotate(table)
+        unknown_prediction = prediction.prediction_for("unknown_col")
+        assert unknown_prediction.abstained
+        assert unknown_prediction.predicted_type == UNKNOWN_TYPE
+
+    def test_tau_abstention(self, table):
+        cheap = StubStep("cheap", 0, {"confident": [TypeScore(0.2, "city")]})
+        pipeline = TypeDetectionPipeline([cheap], config=CascadeConfig(tau=0.5))
+        prediction = pipeline.annotate(table)
+        assert prediction.prediction_for("confident").abstained
+
+    def test_step_timings_recorded(self, table):
+        pipeline, _, _ = self._pipeline(table)
+        prediction = pipeline.annotate(table)
+        assert set(prediction.step_seconds) == {"cheap", "expensive"}
+        assert all(seconds >= 0.0 for seconds in prediction.step_seconds.values())
+
+    def test_annotate_many(self, table):
+        pipeline, _, _ = self._pipeline(table)
+        predictions = pipeline.annotate_many([table, table])
+        assert len(predictions) == 2
+
+    def test_empty_table(self):
+        pipeline = TypeDetectionPipeline([StubStep("only", 0, {})])
+        prediction = pipeline.annotate(Table([], name="empty"))
+        assert len(prediction) == 0

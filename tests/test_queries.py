@@ -1,0 +1,120 @@
+"""Unit tests for the query-semantics extension (Section 5 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
+from repro.queries import ColumnUsage, QueryAwareReranker, QueryLog, analyze_queries
+
+SALES_QUERIES = [
+    "SELECT region, SUM(amount) FROM orders GROUP BY region ORDER BY SUM(amount) DESC",
+    "SELECT COUNT(DISTINCT customer_id) FROM orders WHERE order_date >= '2024-01-01'",
+    "SELECT o.customer_id, c.name FROM orders o JOIN customers c ON o.customer_id = c.id",
+    "SELECT AVG(amount) FROM orders WHERE region = 'EMEA'",
+    "SELECT order_date, amount FROM orders WHERE order_date BETWEEN '2024-01-01' AND '2024-03-31'",
+]
+
+
+class TestQueryLog:
+    def test_blank_queries_ignored(self):
+        log = QueryLog(["", "   ", "SELECT 1"])
+        log.add("")
+        log.extend(["SELECT 2", None if False else "  "])
+        assert len(log) == 2
+
+    def test_analyze_restricted_to_columns(self):
+        log = QueryLog(SALES_QUERIES)
+        usages = log.analyze(column_names=["amount", "region", "customer_id", "order_date"])
+        assert set(usages) <= {"amount", "region", "customer_id", "order_date"}
+
+
+class TestAnalyzeQueries:
+    @pytest.fixture(scope="class")
+    def usages(self):
+        return analyze_queries(SALES_QUERIES)
+
+    def test_numeric_aggregation_detected(self, usages):
+        assert usages["amount"].numeric_aggregations >= 2
+        assert usages["amount"].is_measure_like
+
+    def test_group_by_detected(self, usages):
+        assert usages["region"].group_by_uses >= 1
+        assert usages["region"].is_dimension_like
+
+    def test_join_key_and_distinct_count_detected(self, usages):
+        assert usages["customer_id"].join_key_uses >= 1
+        assert usages["customer_id"].distinct_counts >= 1
+        assert usages["customer_id"].is_identifier_like
+
+    def test_date_comparison_detected(self, usages):
+        assert usages["order_date"].date_comparisons >= 1
+        assert usages["order_date"].is_temporal_like
+
+    def test_equality_filter_detected(self, usages):
+        assert usages["region"].equality_filters >= 1
+
+    def test_mentions_counted_per_query(self, usages):
+        assert usages["amount"].mentions >= 2
+
+    def test_qualified_names_resolved_to_bare_columns(self):
+        usages = analyze_queries(["SELECT SUM(t.revenue) FROM t GROUP BY t.country"])
+        assert "revenue" in usages and "country" in usages
+
+    def test_like_patterns_recorded(self):
+        usages = analyze_queries(["SELECT * FROM users WHERE email LIKE '%@acme.com'"])
+        assert usages["email"].like_patterns == ["%@acme.com"]
+
+    def test_no_signal_queries(self):
+        assert analyze_queries(["SELECT 1", "VACUUM"]) == {}
+
+
+class TestQueryAwareReranker:
+    def _scores(self):
+        return [TypeScore(0.55, "id"), TypeScore(0.50, "salary")]
+
+    def test_measure_usage_prefers_numeric_type(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        usage = ColumnUsage(column_name="amount", mentions=3, numeric_aggregations=3)
+        reranked = reranker.rerank_scores(self._scores(), usage)
+        # "salary" (numeric kind) gets boosted past "id" (kind any, no boost).
+        assert reranked[0].type_name == "salary"
+
+    def test_identifier_usage_keeps_id_on_top(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        usage = ColumnUsage(column_name="ref", mentions=2, join_key_uses=2, distinct_counts=1)
+        reranked = reranker.rerank_scores(self._scores(), usage)
+        assert reranked[0].type_name == "id"
+
+    def test_no_usage_is_a_noop(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        assert reranker.rerank_scores(self._scores(), None) == self._scores()
+
+    def test_confidences_stay_bounded(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        usage = ColumnUsage(column_name="x", mentions=5, numeric_aggregations=5, date_comparisons=5)
+        reranked = reranker.rerank_scores([TypeScore(0.99, "salary")], usage)
+        assert all(0.0 <= score.confidence <= 1.0 for score in reranked)
+
+    def test_rerank_prediction_marks_source(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        prediction = TablePrediction(
+            table_name="orders",
+            columns=[
+                ColumnPrediction(0, "amount", [TypeScore(0.5, "id"), TypeScore(0.45, "price")]),
+                ColumnPrediction(1, "untouched", [TypeScore(0.5, "city")]),
+            ],
+        )
+        usages = {"amount": ColumnUsage(column_name="amount", mentions=2, numeric_aggregations=2)}
+        reranked = reranker.rerank_prediction(prediction, usages)
+        assert reranked.prediction_for("amount").predicted_type == "price"
+        assert reranked.prediction_for("amount").source_step.endswith("+queries")
+        assert reranked.prediction_for("untouched").predicted_type == "city"
+
+    def test_unknown_types_untouched(self, ontology):
+        reranker = QueryAwareReranker(ontology)
+        usage = ColumnUsage(column_name="x", mentions=2, numeric_aggregations=2)
+        scores = [TypeScore(0.5, "not_in_ontology"), TypeScore(0.4, "salary")]
+        reranked = reranker.rerank_scores(scores, usage)
+        by_name = {score.type_name: score.confidence for score in reranked}
+        assert by_name["not_in_ontology"] == 0.5

@@ -1,0 +1,88 @@
+"""Unit tests for the regular-expression rule library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column
+from repro.lookup.regex_library import DEFAULT_REGEX_RULES, RegexLibrary, RegexRule
+
+
+@pytest.fixture(scope="module")
+def library() -> RegexLibrary:
+    return RegexLibrary()
+
+
+class TestLibraryConstruction:
+    def test_default_rules_loaded(self, library):
+        assert len(library) == len(DEFAULT_REGEX_RULES)
+        assert "email" in library.covered_types
+        assert "iban" in library.covered_types
+
+    def test_add_custom_rule(self):
+        library = RegexLibrary(rules=[])
+        library.add_rule(RegexRule("employee_badge", r"EMP-\d{4}", "badge"))
+        assert library.covered_types == ["employee_badge"]
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegexLibrary(rules=[RegexRule("bad", "([unclosed")])
+
+    def test_rules_for_type(self, library):
+        assert len(library.rules_for_type("date")) == 2
+
+
+class TestValueMatching:
+    @pytest.mark.parametrize(
+        "value,expected_type",
+        [
+            ("alice@example.com", "email"),
+            ("https://example.com/page", "url"),
+            ("192.168.1.10", "ip_address"),
+            ("2023-11-02", "date"),
+            ("2023-11-02T10:30:00Z", "timestamp"),
+            ("123-45-6789", "ssn"),
+            ("4111 1111 1111 1111", "credit_card_number"),
+            ("NL91ABNA0417164300", "iban"),
+            ("978-3-16-148410-0", "isbn"),
+            ("42.5%", "percentage"),
+            ("$1,200.00", "price"),
+            ("#FF00AA", "color"),
+            ("v2.3.1", "version"),
+            ("INV-2023-0042", "invoice_number"),
+            ("MRN123456", "patient_id"),
+            ("500 mg", "dosage"),
+        ],
+    )
+    def test_known_formats_detected(self, library, value, expected_type):
+        assert expected_type in library.match_value(value)
+
+    def test_plain_word_matches_nothing_specific(self, library):
+        assert "email" not in library.match_value("hello")
+        assert "iban" not in library.match_value("hello")
+
+
+class TestColumnMatching:
+    def test_fraction_semantics(self, library):
+        column = Column("contact", ["a@x.com", "b@y.org", "not an email", "c@z.net"])
+        scores = library.match_column(column)
+        assert scores["email"] == pytest.approx(0.75)
+
+    def test_weak_patterns_require_high_fraction(self, library):
+        # Three-letter uppercase strings match the currency-code pattern, but
+        # a column where only half the values look like that must not be
+        # reported as currency (min_fraction=0.9 for that rule).
+        column = Column("mixed", ["USD", "EUR", "hello world", "something else"])
+        scores = library.match_column(column)
+        assert "currency" not in scores
+
+    def test_strong_fraction_reports_weak_pattern(self, library):
+        column = Column("ccy", ["USD", "EUR", "GBP", "JPY"])
+        assert "currency" in library.match_column(column)
+
+    def test_empty_column(self, library):
+        assert library.match_column(Column("x", [])) == {}
+
+    def test_null_only_column(self, library):
+        assert library.match_column(Column("x", [None, "", "N/A"])) == {}

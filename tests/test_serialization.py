@@ -1,0 +1,95 @@
+"""Unit tests for table/corpus serialization (CSV and JSON)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SerializationError
+from repro.core.table import Table
+from repro.corpus import GitTablesConfig, GitTablesGenerator, TableCorpus
+from repro.corpus.serialization import (
+    corpus_from_directory,
+    corpus_from_json,
+    corpus_to_directory,
+    corpus_to_json,
+    table_from_csv,
+    table_from_json,
+    table_to_csv,
+    table_to_json,
+)
+
+
+@pytest.fixture()
+def table() -> Table:
+    return Table.from_columns_dict(
+        {"id": ["1", "2"], "city": ["Rome", None]},
+        name="places",
+        semantic_types={"id": "id", "city": "city"},
+    )
+
+
+class TestCsv:
+    def test_round_trip_values(self, table, tmp_path):
+        path = table_to_csv(table, tmp_path / "places.csv")
+        restored = table_from_csv(path)
+        assert restored.column_names == ["id", "city"]
+        assert restored.num_rows == 2
+        assert restored.column("city").values[0] == "Rome"
+        # CSV cannot carry annotations...
+        assert restored.column("id").semantic_type is None
+
+    def test_semantic_types_reattached(self, table, tmp_path):
+        path = table_to_csv(table, tmp_path / "places.csv")
+        restored = table_from_csv(path, semantic_types={"city": "city"})
+        assert restored.column("city").semantic_type == "city"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SerializationError):
+            table_from_csv(tmp_path / "missing.csv")
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(SerializationError):
+            table_from_csv(empty)
+
+    def test_name_defaults_to_stem(self, table, tmp_path):
+        path = table_to_csv(table, tmp_path / "export.csv")
+        assert table_from_csv(path).name == "export"
+
+
+class TestJson:
+    def test_table_round_trip(self, table, tmp_path):
+        path = table_to_json(table, tmp_path / "places.json")
+        restored = table_from_json(path)
+        assert restored.name == "places"
+        assert restored.column("city").semantic_type == "city"
+        assert restored.column("city").values == ["Rome", None]
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not valid json")
+        with pytest.raises(SerializationError):
+            table_from_json(bad)
+
+    def test_missing_json(self, tmp_path):
+        with pytest.raises(SerializationError):
+            table_from_json(tmp_path / "missing.json")
+
+    def test_corpus_round_trip(self, tmp_path):
+        corpus = GitTablesGenerator(GitTablesConfig(num_tables=3, seed=2)).generate_corpus()
+        path = corpus_to_json(corpus, tmp_path / "corpus.json")
+        restored = corpus_from_json(path)
+        assert len(restored) == 3
+        assert restored.label_distribution() == corpus.label_distribution()
+
+    def test_corpus_directory_round_trip(self, table, tmp_path):
+        corpus = TableCorpus([table, table.copy()], name="two")
+        paths = corpus_to_directory(corpus, tmp_path / "tables")
+        assert len(paths) == 2
+        restored = corpus_from_directory(tmp_path / "tables", name="two")
+        assert len(restored) == 2
+
+    def test_corpus_directory_missing(self, tmp_path):
+        with pytest.raises(SerializationError):
+            corpus_from_directory(tmp_path / "nope")

@@ -1,0 +1,151 @@
+"""Integration tests for the SigmaTyper facade (global + local + DPBD)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.ontology import UNKNOWN_TYPE
+from repro.corpus import GitTablesConfig, GitTablesGenerator, build_ood_corpus
+from repro.evaluation import evaluate_annotator
+
+
+class TestGlobalAnnotation:
+    def test_annotation_covers_every_column(self, pretrained_typer, fig3_table):
+        prediction = pretrained_typer.annotate(fig3_table)
+        assert len(prediction) == fig3_table.num_columns
+        assert prediction.table_name == "fig3"
+
+    def test_reasonable_accuracy_on_held_out_tables(self, pretrained_typer, eval_corpus):
+        result = evaluate_annotator(pretrained_typer, eval_corpus, name="global")
+        assert result.metrics.accuracy > 0.6
+        assert result.metrics.precision > 0.7
+
+    def test_cascade_trace_shows_decreasing_column_counts(self, pretrained_typer, eval_corpus):
+        prediction = pretrained_typer.annotate(eval_corpus[0])
+        trace = prediction.step_trace
+        assert trace["header_matching"] == eval_corpus[0].num_columns
+        assert trace.get("value_lookup", 0) <= trace["header_matching"]
+        assert trace.get("table_embedding", 0) <= trace.get("value_lookup", trace["header_matching"])
+
+    def test_summary_structure(self, pretrained_typer):
+        summary = pretrained_typer.summary()
+        assert summary["pipeline_steps"] == ["header_matching", "value_lookup", "table_embedding"]
+        assert 0.0 <= summary["tau"] <= 1.0
+
+
+class TestCustomerLifecycle:
+    def test_register_and_duplicate_rejected(self, pretrained_typer):
+        pretrained_typer.register_customer("lifecycle-customer")
+        with pytest.raises(ConfigurationError):
+            pretrained_typer.register_customer("lifecycle-customer")
+        with pytest.raises(ConfigurationError):
+            pretrained_typer.register_customer("")
+        assert "lifecycle-customer" in pretrained_typer.customer_ids
+
+    def test_unknown_customer_rejected(self, pretrained_typer):
+        with pytest.raises(ConfigurationError):
+            pretrained_typer.customer("never-registered")
+
+    def test_unadapted_customer_matches_global(self, pretrained_typer, fig3_table):
+        pretrained_typer.register_customer("fresh-customer")
+        global_prediction = pretrained_typer.annotate(fig3_table)
+        customer_prediction = pretrained_typer.annotate(fig3_table, customer_id="fresh-customer")
+        assert customer_prediction.as_mapping() == global_prediction.as_mapping()
+
+
+class TestFeedbackAdaptation:
+    def test_fig3_relabel_flow(self, pretrained_typer, fig3_table):
+        pretrained_typer.register_customer("fig3-customer")
+        update = pretrained_typer.give_feedback(
+            "fig3-customer", fig3_table, "Income", "salary", previous_type="revenue"
+        )
+        assert update.target_type == "salary"
+        assert len(update.labeling_functions) >= 3
+        context = pretrained_typer.customer("fig3-customer")
+        assert context.local_model.adapted_types == ["salary"]
+        prediction = pretrained_typer.annotate(fig3_table, customer_id="fig3-customer")
+        assert prediction.prediction_for("Income").predicted_type == "salary"
+        assert prediction.prediction_for("Income").source_step == "global+local"
+
+    def test_feedback_overrides_wrong_global_label(self, pretrained_typer):
+        """Label shift (Fig. 1b): a column named like an id that holds phone numbers."""
+        from repro.corpus import build_label_shift_corpus
+
+        corpus = build_label_shift_corpus(num_tables=4, seed=99)
+        table = corpus[0]
+        shifted_column = next(
+            column for column in table.columns if "label_shift" in column.metadata
+        )
+        pretrained_typer.register_customer("shift-customer")
+        for _ in range(3):
+            pretrained_typer.give_feedback(
+                "shift-customer", table, shifted_column.name, shifted_column.semantic_type
+            )
+        prediction = pretrained_typer.annotate(table, customer_id="shift-customer")
+        assert (
+            prediction.prediction_for(shifted_column.name).predicted_type
+            == shifted_column.semantic_type
+        )
+
+    def test_feedback_does_not_leak_across_customers(self, pretrained_typer, fig3_table):
+        pretrained_typer.register_customer("tenant-a")
+        pretrained_typer.register_customer("tenant-b")
+        pretrained_typer.give_feedback("tenant-a", fig3_table, "Income", "salary")
+        context_b = pretrained_typer.customer("tenant-b")
+        assert not context_b.local_model.has_adaptations()
+        prediction_b = pretrained_typer.annotate(fig3_table, customer_id="tenant-b")
+        global_prediction = pretrained_typer.annotate(fig3_table)
+        assert prediction_b.as_mapping() == global_prediction.as_mapping()
+
+    def test_accept_table_records_implicit_approvals(self, pretrained_typer, fig3_table):
+        pretrained_typer.register_customer("approver")
+        prediction = pretrained_typer.annotate(fig3_table, customer_id="approver")
+        updates = pretrained_typer.accept_table("approver", fig3_table, prediction)
+        non_abstained = sum(1 for p in prediction.columns if not p.abstained)
+        assert len(updates) == non_abstained
+        context = pretrained_typer.customer("approver")
+        assert context.feedback_log.summary().get("implicit_approval", 0) == non_abstained
+
+
+class TestTauAndAbstention:
+    def test_set_tau_validation(self, pretrained_typer):
+        with pytest.raises(ConfigurationError):
+            pretrained_typer.set_tau(1.5)
+
+    def test_high_tau_increases_abstention(self, pretrained_typer, eval_corpus):
+        original = pretrained_typer.tau
+        try:
+            pretrained_typer.set_tau(0.0)
+            low_result = evaluate_annotator(pretrained_typer, eval_corpus, name="low-tau")
+            pretrained_typer.set_tau(0.95)
+            high_result = evaluate_annotator(pretrained_typer, eval_corpus, name="high-tau")
+        finally:
+            pretrained_typer.set_tau(original)
+        assert high_result.metrics.coverage <= low_result.metrics.coverage
+        assert high_result.metrics.precision >= low_result.metrics.precision - 0.05
+
+    def test_calibrate_tau_reaches_target(self, pretrained_typer, eval_corpus):
+        original = pretrained_typer.tau
+        try:
+            tau = pretrained_typer.calibrate_tau(eval_corpus, target_precision=0.9)
+            assert 0.0 <= tau <= 1.0
+            result = evaluate_annotator(pretrained_typer, eval_corpus, name="calibrated")
+            assert result.metrics.precision >= 0.85
+        finally:
+            pretrained_typer.set_tau(original)
+
+    def test_ood_columns_mostly_abstained(self, pretrained_typer):
+        ood_corpus = build_ood_corpus(num_tables=5, seed=55)
+        abstained = total = 0
+        for table in ood_corpus:
+            prediction = pretrained_typer.annotate(table)
+            for column, column_prediction in zip(table.columns, prediction.columns):
+                if not str(column.semantic_type or "").startswith("ood:"):
+                    continue
+                total += 1
+                if column_prediction.abstained or column_prediction.predicted_type == UNKNOWN_TYPE:
+                    abstained += 1
+        # The system should abstain on a substantial share of OOD columns, and
+        # certainly not confidently label all of them.
+        assert abstained / total >= 0.3

@@ -1,0 +1,86 @@
+"""Unit tests for the value-lookup pipeline step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import Column, Table
+from repro.lookup.knowledge_base import KnowledgeBase
+from repro.lookup.labeling_functions import HeaderMatchLF, LabelingFunctionStore, ValueRangeLF
+from repro.lookup.regex_library import RegexLibrary
+from repro.lookup.value_matcher import ValueLookupConfig, ValueLookupStep
+
+
+@pytest.fixture(scope="module")
+def step() -> ValueLookupStep:
+    return ValueLookupStep()
+
+
+class TestConfig:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValueLookupConfig(sample_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            ValueLookupConfig(min_confidence=2.0).validate()
+        with pytest.raises(ConfigurationError):
+            ValueLookupConfig(top_k=0).validate()
+
+
+class TestValueLookup:
+    def test_regex_detects_emails(self, step):
+        column = Column("contact", ["a@x.com", "b@y.org", "c@z.io"])
+        scores = step.predict_column(column)
+        assert scores[0].type_name == "email"
+        assert scores[0].confidence == 1.0
+
+    def test_knowledge_base_detects_cities(self, step):
+        column = Column("location", ["Amsterdam", "Paris", "Berlin", "Tokyo"])
+        scores = step.predict_column(column)
+        assert any(score.type_name == "city" for score in scores)
+
+    def test_uninformative_values_yield_nothing(self, step):
+        column = Column("x", ["lorem ipsum dolor", "random words here", "more free text"])
+        scores = step.predict_column(column)
+        assert all(score.confidence < 0.9 for score in scores)
+
+    def test_min_confidence_filters(self):
+        step = ValueLookupStep(config=ValueLookupConfig(min_confidence=0.9))
+        column = Column("mixed", ["a@x.com", "not email", "also not", "nope"])
+        assert step.predict_column(column) == []
+
+    def test_local_labeling_functions_take_part(self):
+        store = LabelingFunctionStore(
+            [HeaderMatchLF("salary", ["income"]), ValueRangeLF("salary", 40_000, 80_000)]
+        )
+        step = ValueLookupStep(labeling_functions=store)
+        column = Column("income", ["50000", "60000", "70000"])
+        scores = step.predict_column(column)
+        assert scores[0].type_name == "salary"
+        assert scores[0].confidence == 1.0
+
+    def test_co_occurrence_context_passed(self, fig3_table):
+        # Labeling functions that need the table receive it via LFContext.
+        from repro.lookup.labeling_functions import CoOccurrenceLF
+
+        store = LabelingFunctionStore([CoOccurrenceLF("salary", ["company", "name"])])
+        step = ValueLookupStep(
+            knowledge_base=KnowledgeBase(), regex_library=RegexLibrary(rules=[]), labeling_functions=store
+        )
+        results = step.predict_columns(fig3_table, [1])
+        assert results[1] and results[1][0].type_name == "salary"
+
+    def test_top_k_limit(self):
+        step = ValueLookupStep(config=ValueLookupConfig(top_k=1, min_confidence=0.1))
+        column = Column("ccy", ["USD", "EUR", "GBP", "CHF"])
+        assert len(step.predict_column(column)) <= 1
+
+    def test_predict_columns_covers_requested_indices(self, step, fig3_table):
+        results = step.predict_columns(fig3_table, [0, 3])
+        assert set(results) == {0, 3}
+
+    def test_predict_columns_default_all(self, step, fig3_table):
+        assert set(step.predict_columns(fig3_table)) == {0, 1, 2, 3}
+
+    def test_empty_column(self, step):
+        assert step.predict_column(Column("empty", [None, "", None])) == []
