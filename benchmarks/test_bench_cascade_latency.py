@@ -9,8 +9,15 @@ step on every column, and sweeps the confidence threshold c.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
 from repro.evaluation import evaluate_annotator, format_table
+
+#: Machine-readable E10 results, committed at the repo root so the perf
+#: trajectory of the cascade stays comparable across PRs.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_cascade_latency.json"
 
 
 def _pipeline_variant(sigmatyper, confidence_threshold, always_run_all):
@@ -54,6 +61,11 @@ def test_cascade_vs_exhaustive(benchmark, sigmatyper, test_corpus, record_result
     record_result(
         "E10_cascade_latency",
         format_table(rows, title="E10 — confidence-gated cascade vs exhaustive execution"),
+    )
+    BENCH_JSON_PATH.write_text(
+        json.dumps({"experiment": "E10_cascade_latency", "configurations": rows}, indent=2)
+        + "\n",
+        encoding="utf-8",
     )
 
     exhaustive, *cascades = rows

@@ -12,6 +12,7 @@ background ``unknown`` class.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.core.aggregation import Aggregator
 from repro.core.ontology import TypeOntology, build_default_ontology
@@ -143,6 +144,16 @@ class GlobalModel:
     def annotate(self, table: Table) -> TablePrediction:
         """Run the shared cascade on one table."""
         return self.pipeline.annotate(table)
+
+    def annotate_many(self, tables: Sequence[Table]) -> list[TablePrediction]:
+        """Run the shared cascade over a corpus of tables.
+
+        Each table still goes through the confidence-gated cascade, but every
+        step receives all of a table's pending columns at once (batched
+        featurization, one MLP forward per table) and the memoized column
+        profiles/embedding caches stay warm across the whole run.
+        """
+        return self.pipeline.annotate_many(tables)
 
     @property
     def classifier(self) -> TableEmbeddingClassifier | None:

@@ -49,7 +49,11 @@ class PipelineStep(ABC):
         """Return ranked candidates for the addressed columns of *table*.
 
         Implementations must return an entry for every requested index (an
-        empty list when the step has nothing to say about a column).
+        empty list when the step has nothing to say about a column).  This is
+        the batch hot path: the cascade always hands a step *all* of its
+        pending columns at once, so implementations should amortise shared
+        work across the batch (the learned step runs one model forward per
+        call, the header matcher scores each distinct header once).
         """
 
 

@@ -19,6 +19,7 @@ calibrated from a validation corpus so a target precision is met.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.adaptation.customer import CustomerContext
 from repro.adaptation.global_model import GlobalModel, GlobalModelConfig
@@ -172,6 +173,21 @@ class SigmaTyper:
             return self.global_model.annotate(table)
         global_prediction = self._exhaustive_pipeline().annotate(table)
         return self._blend_with_local(table, global_prediction, context)
+
+    def annotate_corpus(
+        self, tables: Iterable[Table], customer_id: str | None = None
+    ) -> list[TablePrediction]:
+        """Bulk-annotate many tables (a :class:`TableCorpus` or any iterable).
+
+        This is the high-throughput entry point: per-table results are
+        identical to calling :meth:`annotate` in a loop, but the batched
+        pipeline steps and the memoized profile/embedding caches are shared
+        across the whole corpus, so warm-cache throughput is much higher than
+        table-at-a-time calls from a cold start.
+        """
+        if customer_id is None:
+            return self.global_model.annotate_many(list(tables))
+        return [self.annotate(table, customer_id=customer_id) for table in tables]
 
     def _exhaustive_pipeline(self):
         """The global pipeline with the cascade short-circuit disabled."""

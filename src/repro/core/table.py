@@ -49,6 +49,10 @@ class Column:
     semantic_type: str | None = None
     metadata: dict[str, object] = field(default_factory=dict)
     _data_type: DataType | None = field(default=None, repr=False, compare=False)
+    #: Memoized derived state (value views, samples, profiles).  Keyed by a
+    #: descriptive tuple; cleared as one unit by :meth:`invalidate_cache`.
+    #: The cached lists are shared with callers and must not be mutated.
+    _derived: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.values = list(self.values)
@@ -69,46 +73,60 @@ class Column:
     def invalidate_cache(self) -> None:
         """Drop cached derived state after the values were mutated."""
         self._data_type = None
+        self._derived.clear()
+
+    def _memo(self, key: object, compute: Callable[[], object]) -> object:
+        """Return the cached value for *key*, computing it on first access."""
+        try:
+            return self._derived[key]
+        except KeyError:
+            value = self._derived[key] = compute()
+            return value
 
     def non_null_values(self) -> list[object]:
-        """Values that are not recognised as missing."""
-        return [value for value in self.values if not is_null(value)]
+        """Values that are not recognised as missing (cached; do not mutate)."""
+        return self._memo(
+            "non_null", lambda: [value for value in self.values if not is_null(value)]
+        )
 
     def null_fraction(self) -> float:
         """Fraction of cells that are missing; 0.0 for an empty column."""
         if not self.values:
             return 0.0
-        nulls = sum(1 for value in self.values if is_null(value))
+        nulls = len(self.values) - len(self.non_null_values())
         return nulls / len(self.values)
 
     def text_values(self) -> list[str]:
-        """Non-null values rendered as stripped strings."""
-        return [str(value).strip() for value in self.non_null_values()]
+        """Non-null values rendered as stripped strings (cached; do not mutate)."""
+        return self._memo(
+            "text", lambda: [str(value).strip() for value in self.non_null_values()]
+        )
 
     def numeric_values(self) -> list[float]:
         """Non-null values parsed as numbers (non-numeric cells dropped)."""
-        return coerce_numeric(self.non_null_values())
+        return self._memo("numeric", lambda: coerce_numeric(self.non_null_values()))
 
     def unique_values(self) -> list[str]:
         """Distinct non-null string values, in first-seen order."""
-        seen: dict[str, None] = {}
-        for value in self.text_values():
-            seen.setdefault(value, None)
-        return list(seen)
+        return list(self.value_counts())
 
     def unique_fraction(self) -> float:
         """Ratio of distinct values to non-null values (0.0 when empty)."""
         non_null = self.text_values()
         if not non_null:
             return 0.0
-        return len(set(non_null)) / len(non_null)
+        return len(self.value_counts()) / len(non_null)
 
     def value_counts(self) -> dict[str, int]:
-        """Occurrence counts of the non-null string values."""
-        counts: dict[str, int] = {}
-        for value in self.text_values():
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+        """Occurrence counts of the non-null string values (cached; do not mutate)."""
+
+        def compute() -> dict[str, int]:
+            counts: dict[str, int] = {}
+            for value in self.text_values():
+                counts[value] = counts.get(value, 0) + 1
+            return counts
+
+        return self._memo("value_counts", compute)
 
     def most_frequent_values(self, k: int = 5) -> list[str]:
         """The *k* most frequent values, ties broken by first appearance."""
@@ -118,12 +136,22 @@ class Column:
         return ranked[:k]
 
     def sample(self, k: int, seed: int | None = None) -> list[object]:
-        """A reproducible sample of at most *k* non-null values."""
-        non_null = self.non_null_values()
-        if len(non_null) <= k:
-            return list(non_null)
-        rng = random.Random(seed)
-        return rng.sample(non_null, k)
+        """A reproducible sample of at most *k* non-null values.
+
+        Seeded samples are deterministic and therefore memoized per
+        ``(k, seed)``; unseeded calls stay freshly random on every call.
+        """
+
+        def compute() -> list[object]:
+            non_null = self.non_null_values()
+            if len(non_null) <= k:
+                return list(non_null)
+            rng = random.Random(seed)
+            return rng.sample(non_null, k)
+
+        if seed is None:
+            return compute()
+        return self._memo(("sample", k, seed), compute)
 
     def head(self, n: int = 5) -> list[object]:
         """The first *n* raw values."""

@@ -77,6 +77,8 @@ def infer_labeling_functions(
         ground-truth annotations when available on the table.
     """
     config = config or LFInferenceConfig()
+    # Memoized on the column — shared with the featurizer and the expectation
+    # profiler, which inspect the same columns during a feedback round.
     statistics = profile_column(column)
     functions: list[LabelingFunction] = []
     base_kwargs = {"source": config.source}

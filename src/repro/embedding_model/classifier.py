@@ -158,6 +158,46 @@ class TableEmbeddingClassifier:
         probabilities = model.predict_proba(features[None, :])[0]
         return {vocabulary.type_at(index): float(p) for index, p in enumerate(probabilities)}
 
+    def predict_proba_batch(
+        self, rows: Sequence[tuple[Column, Table | None]]
+    ) -> np.ndarray:
+        """Class probabilities for a batch of ``(column, table)`` pairs.
+
+        Featurizes the whole batch with
+        :meth:`~repro.embedding_model.features.ColumnFeaturizer.extract_many`
+        and issues **one** MLP forward pass, returning an array of shape
+        ``(len(rows), num_classes)`` whose column order follows the label
+        vocabulary.  This is the pipeline's hot path: one forward per table
+        instead of one per column.
+        """
+        model, _ = self._require_fitted()
+        if not rows:
+            return np.zeros((0, len(self.vocabulary or [])), dtype=np.float64)
+        features = self.featurizer.extract_many(list(rows))
+        return model.predict_proba(features)
+
+    def predict_columns_batch(
+        self, rows: Sequence[tuple[Column, Table | None]], top_k: int = 5
+    ) -> list[list[TypeScore]]:
+        """Ranked :class:`TypeScore` candidates for a batch of columns.
+
+        Semantics match calling :meth:`predict_column` per column (same
+        ranking and tie-breaking), but all probabilities come from a single
+        batched forward pass.
+        """
+        _, vocabulary = self._require_fitted()
+        probabilities = self.predict_proba_batch(rows)
+        types = list(vocabulary.types)
+        ranked_rows: list[list[TypeScore]] = []
+        for row in probabilities:
+            scores = [
+                TypeScore(confidence=float(probability), type_name=type_name)
+                for type_name, probability in zip(types, row)
+            ]
+            scores.sort(key=lambda s: (-s.confidence, s.type_name))
+            ranked_rows.append(scores[:top_k])
+        return ranked_rows
+
     def predict_logits(self, column: Column, table: Table | None = None) -> np.ndarray:
         """Raw logits for one column (used by the energy-based OOD score)."""
         model, _ = self._require_fitted()

@@ -56,6 +56,9 @@ _SHAPE_PATTERNS: list[tuple[str, re.Pattern[str]]] = [
     ("single_char", re.compile(r"^.$")),
 ]
 
+#: Cap on the per-featurizer shape-mask cache (cleared wholesale when full).
+_SHAPE_MASK_CACHE_MAX = 65536
+
 
 def _signed_log(value: float) -> float:
     """Compress unbounded numeric statistics onto a well-behaved scale."""
@@ -92,6 +95,9 @@ class ColumnFeaturizer:
         self._shape_dim = len(_SHAPE_PATTERNS)
         self._context_dim = 8 if self.config.include_table_context else 0
         self._header_dim = self._embedding_dim if self.config.include_header else 0
+        #: value → 0/1 pattern-hit vector; values repeat across columns and
+        #: tables, so shape matching mostly becomes a dictionary lookup.
+        self._shape_mask_cache: dict[str, np.ndarray] = {}
 
     # ------------------------------------------------------------------- shape
     @property
@@ -124,11 +130,14 @@ class ColumnFeaturizer:
     # ----------------------------------------------------------------- extract
     def extract(self, column: Column, table: Table | None = None) -> np.ndarray:
         """Featurize one column (optionally in its table context)."""
+        # Sample once and share between the shape and embedding blocks (the
+        # sample itself is additionally memoized on the column).
+        values = self._sample_values(column)
         blocks = [
             self._statistical_features(column),
             self._data_type_features(column),
-            self._shape_features(column),
-            self._value_embedding(column),
+            self._shape_features(values),
+            self._value_embedding(values),
         ]
         if self.config.include_header:
             blocks.append(self.embedder.embed_text(column.name))
@@ -139,10 +148,20 @@ class ColumnFeaturizer:
     def extract_many(
         self, columns: list[tuple[Column, Table | None]]
     ) -> np.ndarray:
-        """Featurize a batch of ``(column, table)`` pairs into a matrix."""
+        """Featurize a batch of ``(column, table)`` pairs into one matrix.
+
+        The batch path assembles exactly the same per-column blocks as
+        :meth:`extract` (rows are bitwise identical), but amortises the shared
+        work: column profiles are memoized, values are sampled once per
+        column, per-value shape masks and phrase embeddings are cached across
+        the whole batch, and a single allocation holds the output matrix.
+        """
         if not columns:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.vstack([self.extract(column, table) for column, table in columns])
+        matrix = np.empty((len(columns), self.dim), dtype=np.float64)
+        for row, (column, table) in enumerate(columns):
+            matrix[row] = self.extract(column, table)
+        return matrix
 
     # ----------------------------------------------------------------- blocks
     def _statistical_features(self, column: Column) -> np.ndarray:
@@ -185,17 +204,29 @@ class ColumnFeaturizer:
         sample = column.sample(self.config.value_sample_size, seed=self.config.seed)
         return [str(value).strip() for value in sample]
 
-    def _shape_features(self, column: Column) -> np.ndarray:
-        values = self._sample_values(column)
-        features = np.zeros(self._shape_dim, dtype=np.float64)
-        if not values:
-            return features
-        for index, (_, pattern) in enumerate(_SHAPE_PATTERNS):
-            features[index] = sum(1 for value in values if pattern.search(value)) / len(values)
-        return features
+    def _shape_mask(self, value: str) -> np.ndarray:
+        """0/1 hits of *value* against every shape pattern (cached per value)."""
+        mask = self._shape_mask_cache.get(value)
+        if mask is None:
+            mask = np.fromiter(
+                (1.0 if pattern.search(value) else 0.0 for _, pattern in _SHAPE_PATTERNS),
+                dtype=np.float64,
+                count=self._shape_dim,
+            )
+            if len(self._shape_mask_cache) >= _SHAPE_MASK_CACHE_MAX:
+                self._shape_mask_cache.clear()
+            self._shape_mask_cache[value] = mask
+        return mask
 
-    def _value_embedding(self, column: Column) -> np.ndarray:
-        values = self._sample_values(column)
+    def _shape_features(self, values: list[str]) -> np.ndarray:
+        if not values:
+            return np.zeros(self._shape_dim, dtype=np.float64)
+        # Summing cached 0/1 masks is integer-exact, so this matches the
+        # original per-pattern counting loop bitwise.
+        stacked = np.vstack([self._shape_mask(value) for value in values])
+        return stacked.sum(axis=0) / len(values)
+
+    def _value_embedding(self, values: list[str]) -> np.ndarray:
         if not values:
             return np.zeros(self._embedding_dim, dtype=np.float64)
         embeddings = [self.embedder.embed_text(value) for value in values]

@@ -36,9 +36,14 @@ class TableEmbeddingStep(PipelineStep):
     def predict_columns(
         self, table: Table, column_indices: Sequence[int] | None = None
     ) -> dict[int, list[TypeScore]]:
-        """Predict ranked candidates for the addressed columns of *table*."""
-        indices = range(table.num_columns) if column_indices is None else column_indices
-        return {
-            index: self.classifier.predict_column(table.columns[index], table, top_k=self.top_k)
-            for index in indices
-        }
+        """Predict ranked candidates for the addressed columns of *table*.
+
+        All addressed columns are featurized together and classified with a
+        single batched MLP forward pass instead of one forward per column.
+        """
+        indices = (
+            list(range(table.num_columns)) if column_indices is None else list(column_indices)
+        )
+        rows = [(table.columns[index], table) for index in indices]
+        ranked = self.classifier.predict_columns_batch(rows, top_k=self.top_k)
+        return dict(zip(indices, ranked))

@@ -22,6 +22,7 @@ Vectors are L2-normalised so cosine similarity is a dot product.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -30,6 +31,12 @@ from repro.core.errors import ConfigurationError
 from repro.matching.fuzzy import tokenize_header
 
 __all__ = ["SubwordEmbedder", "cosine_similarity"]
+
+#: Shared gram → 64-bit hash cache.  Grams repeat heavily across words (and
+#: across embedder instances), and the blake2b call is the hot spot of the
+#: n-gram component, so hashes are computed once per distinct gram.
+_HASH_CACHE: dict[str, int] = {}
+_HASH_CACHE_MAX = 1 << 20
 
 
 def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
@@ -43,8 +50,14 @@ def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
 
 def _stable_hash(text: str) -> int:
     """A process-independent 64-bit hash (Python's ``hash`` is salted)."""
+    cached = _HASH_CACHE.get(text)
+    if cached is not None:
+        return cached
     digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "little")
+    value = int.from_bytes(digest, "little")
+    if len(_HASH_CACHE) < _HASH_CACHE_MAX:
+        _HASH_CACHE[text] = value
+    return value
 
 
 class SubwordEmbedder:
@@ -76,6 +89,14 @@ class SubwordEmbedder:
         self.ngram_range = ngram_range
         self._word_vectors: dict[str, np.ndarray] = {}
         self._ngram_cache: dict[str, np.ndarray] = {}
+        # LRU cache of whole-phrase embeddings.  Cell values and headers
+        # repeat constantly across a corpus, so most embed_text calls are hits.
+        # Cached vectors are shared with callers and must not be mutated.
+        self._phrase_cache: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._phrase_cache_max = 8192
+        # Cached embedded candidate matrices for most_similar (see below).
+        self._candidate_cache: OrderedDict[tuple, tuple[list[str], np.ndarray]] = OrderedDict()
+        self._candidate_cache_max = 32
         self._fitted = False
 
     # ------------------------------------------------------------- n-gram part
@@ -95,12 +116,17 @@ class SubwordEmbedder:
         cached = self._ngram_cache.get(word)
         if cached is not None:
             return cached
+        # Bulk-hash the grams and scatter-add all ±1 contributions at once;
+        # the additions are integer-valued, so the result is order-independent
+        # and identical to accumulating gram by gram.
+        hashes = np.fromiter(
+            (_stable_hash(gram) for gram in self._char_ngrams(word)),
+            dtype=np.uint64,
+        )
+        indices = (hashes % np.uint64(self.ngram_dim)).astype(np.intp)
+        signs = np.where((hashes >> np.uint64(32)) % np.uint64(2) == 0, 1.0, -1.0)
         vector = np.zeros(self.ngram_dim, dtype=np.float64)
-        for gram in self._char_ngrams(word):
-            bucket_hash = _stable_hash(gram)
-            index = bucket_hash % self.ngram_dim
-            sign = 1.0 if (bucket_hash >> 32) % 2 == 0 else -1.0
-            vector[index] += sign
+        np.add.at(vector, indices, signs)
         norm = np.linalg.norm(vector)
         if norm > 0:
             vector /= norm
@@ -139,6 +165,10 @@ class SubwordEmbedder:
                 vocabulary.setdefault(token, len(vocabulary))
 
         self._word_vectors = {}
+        # Fitting changes the embedding dimensionality and the learned part:
+        # every derived phrase/candidate cache is stale.
+        self._phrase_cache.clear()
+        self._candidate_cache.clear()
         if not tokenised or not vocabulary:
             self._fitted = False
             return self
@@ -190,14 +220,27 @@ class SubwordEmbedder:
         return np.concatenate([ngram_part, learned])
 
     def embed_text(self, text: str) -> np.ndarray:
-        """Embed a phrase as the L2-normalised mean of its token embeddings."""
+        """Embed a phrase as the L2-normalised mean of its token embeddings.
+
+        Results are LRU-cached per phrase (shared with callers — treat the
+        returned vector as read-only).
+        """
+        cached = self._phrase_cache.get(text)
+        if cached is not None:
+            self._phrase_cache.move_to_end(text)
+            return cached
         tokens = tokenize_header(text)
         if not tokens:
-            return np.zeros(self.dim, dtype=np.float64)
-        stacked = np.vstack([self.embed_word(token) for token in tokens])
-        mean = stacked.mean(axis=0)
-        norm = np.linalg.norm(mean)
-        return mean / norm if norm > 0 else mean
+            vector = np.zeros(self.dim, dtype=np.float64)
+        else:
+            stacked = np.vstack([self.embed_word(token) for token in tokens])
+            mean = stacked.mean(axis=0)
+            norm = np.linalg.norm(mean)
+            vector = mean / norm if norm > 0 else mean
+        self._phrase_cache[text] = vector
+        if len(self._phrase_cache) > self._phrase_cache_max:
+            self._phrase_cache.popitem(last=False)
+        return vector
 
     def similarity(self, first: str, second: str) -> float:
         """Cosine similarity of two phrases in ``[-1, 1]`` (usually ``[0, 1]``)."""
@@ -213,13 +256,27 @@ class SubwordEmbedder:
         the key is returned.
         """
         if isinstance(candidates, Mapping):
-            items = list(candidates.items())
+            items = tuple(candidates.items())
         else:
-            items = [(candidate, candidate) for candidate in candidates]
+            items = tuple((candidate, candidate) for candidate in candidates)
+        cached = self._candidate_cache.get(items)
+        if cached is not None:
+            self._candidate_cache.move_to_end(items)
+            keys, matrix = cached
+        else:
+            keys = [key for key, _ in items]
+            matrix = (
+                np.vstack([self.embed_text(text) for _, text in items])
+                if items
+                else np.zeros((0, self.dim), dtype=np.float64)
+            )
+            self._candidate_cache[items] = (keys, matrix)
+            if len(self._candidate_cache) > self._candidate_cache_max:
+                self._candidate_cache.popitem(last=False)
+        # embed_text outputs are L2-normalised (or all-zero), so a plain
+        # matrix-vector product gives the cosine similarities directly.
         query_vector = self.embed_text(query)
-        ranked = [
-            (key, cosine_similarity(query_vector, self.embed_text(text)))
-            for key, text in items
-        ]
+        similarities = matrix @ query_vector
+        ranked = [(key, float(s)) for key, s in zip(keys, similarities)]
         ranked.sort(key=lambda pair: (-pair[1], pair[0]))
         return ranked[:top_k]

@@ -21,16 +21,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.datatypes import DataType
 from repro.core.errors import ConfigurationError
 from repro.core.ontology import DataKind, SemanticType, TypeOntology, UNKNOWN_TYPE
 from repro.core.pipeline import PipelineStep
 from repro.core.prediction import TypeScore
 from repro.core.table import Column, Table
-from repro.matching.embeddings import SubwordEmbedder, cosine_similarity
-from repro.matching.fuzzy import combined_similarity, normalize_header
+from repro.matching.embeddings import SubwordEmbedder
+from repro.matching.fuzzy import combined_similarity, normalize_header, tokenize_header
 
 __all__ = ["HeaderMatcherConfig", "HeaderMatcher"]
+
+#: Normalised headers only contain lower-case letters, digits, and spaces.
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789 "
+_CHAR_INDEX = {char: index for index, char in enumerate(_ALPHABET)}
+
+
+def _char_counts(text: str) -> np.ndarray:
+    """Character histogram of a normalised string over the header alphabet."""
+    counts = np.zeros(len(_ALPHABET), dtype=np.float64)
+    for char in text:
+        index = _CHAR_INDEX.get(char)
+        if index is not None:
+            counts[index] += 1.0
+    return counts
 
 
 @dataclass
@@ -88,14 +104,23 @@ class HeaderMatcher(PipelineStep):
         for semantic_type in self._candidate_types:
             for alias in semantic_type.all_names():
                 self._alias_index.setdefault(alias, []).append(semantic_type.name)
+        self._build_alias_screen()
         self._type_embeddings: dict[str, object] = {}
+        #: Matrix form of the type embeddings: row i is the L2-normalised
+        #: embedding of ``self._type_names[i]``.  One matrix-vector product
+        #: scores a header against every ontology type at once.
+        self._type_names: list[str] = []
+        self._type_matrix: np.ndarray | None = None
         if self.embedder is not None:
             self._compute_type_embeddings()
         # Header matching is pure string work: identical (header, data type)
         # pairs always produce the same candidates, and real corpora repeat
         # headers constantly, so a small cache makes this step as cheap as its
-        # position at the front of the cascade assumes.
+        # position at the front of the cascade assumes.  The raw channel
+        # scores additionally cache on the header alone, so the same header
+        # over columns of different data types shares the string matching.
         self._cache: dict[tuple[str, object], list[TypeScore]] = {}
+        self._score_cache: dict[str, dict[str, float]] = {}
 
     # ---------------------------------------------------------------- factory
     @classmethod
@@ -130,11 +155,168 @@ class HeaderMatcher(PipelineStep):
             leaves.append(semantic_type)
         return leaves
 
+    def _build_alias_screen(self) -> None:
+        """Precompute per-alias data for the vectorized candidate screen.
+
+        For every alias the normalised form, its length, its character
+        histogram, its 4-character prefix, and its token set are computed
+        once; the distinct alias *tokens* additionally get their own
+        histogram matrix.  Scoring a header then starts with vectorized
+        character-overlap computations that yield *exact upper bounds* on all
+        three syntactic similarity measures; ``combined_similarity`` only
+        runs for the few aliases whose bound clears the syntactic threshold,
+        which cannot change the result.
+        """
+        token_index: dict[str, int] = {}
+        token_histograms: list[np.ndarray] = []
+        token_lengths: list[int] = []
+        entries: list[tuple[str, list[str], frozenset[str], np.ndarray]] = []
+        lengths: list[int] = []
+        histograms: list[np.ndarray] = []
+        prefixes: list[list[int]] = []
+        for alias, type_names in self._alias_index.items():
+            normalized = normalize_header(alias)
+            if not normalized:
+                continue  # combined_similarity is 0.0 against everything
+            tokens = frozenset(tokenize_header(normalized))
+            for token in tokens:
+                if token not in token_index:
+                    token_index[token] = len(token_index)
+                    token_histograms.append(_char_counts(token))
+                    token_lengths.append(len(token))
+            indices = np.array(sorted(token_index[token] for token in tokens), dtype=np.intp)
+            entries.append((normalized, type_names, tokens, indices))
+            lengths.append(len(normalized))
+            histograms.append(_char_counts(normalized))
+            codes = [ord(char) for char in normalized[:4]]
+            prefixes.append(codes + [-1] * (4 - len(codes)))
+        self._alias_entries = entries
+        self._alias_lengths = np.array(lengths, dtype=np.float64)
+        self._alias_histograms = (
+            np.vstack(histograms)
+            if histograms
+            else np.zeros((0, len(_ALPHABET)), dtype=np.float64)
+        )
+        self._alias_prefixes = np.array(prefixes, dtype=np.int32).reshape(len(entries), 4)
+        self._token_histograms = (
+            np.vstack(token_histograms)
+            if token_histograms
+            else np.zeros((0, len(_ALPHABET)), dtype=np.float64)
+        )
+        self._token_lengths = np.array(token_lengths, dtype=np.float64)
+
+    def _char_screen(self, header: str) -> np.ndarray:
+        """Vectorized upper bound on the character-level similarity measures.
+
+        * Levenshtein: ``distance >= max_len - common_chars``, so the ratio is
+          at most ``common_chars / max_len``.
+        * Jaro: matches ``m <= common_chars`` and ``(m - t)/m <= 1``; the
+          Winkler boost uses the *actual* shared prefix length (cheap to
+          compute exactly, and usually 0).
+        """
+        header_length = len(header)
+        overlaps = np.minimum(self._alias_histograms, _char_counts(header)).sum(axis=1)
+        lev_bound = overlaps / np.maximum(self._alias_lengths, header_length)
+        jaro_bound = np.minimum(
+            (overlaps / header_length + overlaps / self._alias_lengths + 1.0) / 3.0, 1.0
+        )
+        header_prefix = np.full(4, -2, dtype=np.int32)
+        for position, char in enumerate(header[:4]):
+            header_prefix[position] = ord(char)
+        matches = self._alias_prefixes == header_prefix
+        prefix_lengths = np.argmin(
+            np.concatenate([matches, np.zeros((len(matches), 1), dtype=bool)], axis=1), axis=1
+        ).astype(np.float64)
+        jw_bound = np.where(
+            overlaps > 0, jaro_bound + 0.1 * prefix_lengths * (1.0 - jaro_bound), 0.0
+        )
+        return np.maximum(lev_bound, jw_bound)
+
+    def _syntactic_scores(self, header: str) -> dict[str, float]:
+        """Best syntactic confidence per type for one normalised header.
+
+        Identical to scoring ``combined_similarity(header, alias)`` against
+        every alias: the screen only skips pairs whose provable upper bound is
+        below the reporting threshold, and every surviving pair is scored with
+        the original (unmodified) similarity function.
+        """
+        if not self._alias_entries:
+            return {}
+        threshold = self.config.syntactic_threshold
+        header_tokens = frozenset(tokenize_header(header))
+        char_bound = self._char_screen(header)
+        # Upper bound on each header token's best Levenshtein ratio against
+        # every distinct alias token (token-set contributions need >= 0.75).
+        token_bounds: dict[str, np.ndarray] = {}
+        if header_tokens and len(self._token_lengths):
+            for token in header_tokens:
+                token_bounds[token] = np.minimum(
+                    self._token_histograms, _char_counts(token)
+                ).sum(axis=1) / np.maximum(self._token_lengths, len(token))
+
+        best: dict[str, float] = {}
+        for index, (alias, type_names, alias_tokens, alias_token_ids) in enumerate(
+            self._alias_entries
+        ):
+            if header == alias:
+                similarity = 1.0
+            else:
+                if char_bound[index] < threshold and not self._token_screen(
+                    header_tokens, alias_tokens, alias_token_ids, token_bounds, threshold
+                ):
+                    continue
+                similarity = combined_similarity(header, alias)
+                if similarity < threshold:
+                    continue
+            confidence = 1.0 if similarity >= self.config.exact_threshold else similarity
+            for type_name in type_names:
+                if confidence > best.get(type_name, 0.0):
+                    best[type_name] = confidence
+        return best
+
+    @staticmethod
+    def _token_screen(
+        header_tokens: frozenset[str],
+        alias_tokens: frozenset[str],
+        alias_token_ids: np.ndarray,
+        token_bounds: dict[str, np.ndarray],
+        threshold: float,
+    ) -> bool:
+        """Whether the token-set ratio could reach *threshold* (upper bound).
+
+        Mirrors ``token_set_ratio``: shared tokens score 1 each, every
+        non-shared header token contributes at most its best per-token
+        Levenshtein-ratio bound, and only when that bound reaches the 0.75
+        contribution cut-off.
+        """
+        if not header_tokens or not alias_tokens:
+            return header_tokens == alias_tokens
+        if header_tokens == alias_tokens:
+            return True
+        score_bound = float(len(header_tokens & alias_tokens))
+        for token in header_tokens:
+            if token in alias_tokens:
+                continue
+            bounds = token_bounds.get(token)
+            if bounds is None or not alias_token_ids.size:
+                continue
+            best_bound = float(bounds[alias_token_ids].max())
+            if best_bound >= 0.75:
+                score_bound += min(best_bound, 1.0)
+        ratio_bound = score_bound / max(len(header_tokens), len(alias_tokens))
+        return ratio_bound >= threshold
+
     def _compute_type_embeddings(self) -> None:
         assert self.embedder is not None
         for semantic_type in self._candidate_types:
             text = " ".join([semantic_type.label, *semantic_type.synonyms])
             self._type_embeddings[semantic_type.name] = self.embedder.embed_text(text)
+        self._type_names = list(self._type_embeddings)
+        self._type_matrix = (
+            np.vstack([self._type_embeddings[name] for name in self._type_names])
+            if self._type_names
+            else np.zeros((0, self.embedder.dim), dtype=np.float64)
+        )
 
     # ------------------------------------------------------------- prediction
     def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
@@ -146,27 +328,7 @@ class HeaderMatcher(PipelineStep):
         cached = self._cache.get(cache_key)
         if cached is not None:
             return list(cached)
-        best: dict[str, float] = {}
-
-        # Syntactic channel.
-        for alias, type_names in self._alias_index.items():
-            similarity = combined_similarity(header, alias)
-            if similarity < self.config.syntactic_threshold:
-                continue
-            confidence = 1.0 if similarity >= self.config.exact_threshold else similarity
-            for type_name in type_names:
-                if confidence > best.get(type_name, 0.0):
-                    best[type_name] = confidence
-
-        # Semantic channel.
-        if self.embedder is not None:
-            header_vector = self.embedder.embed_text(header)
-            for type_name, type_vector in self._type_embeddings.items():
-                similarity = max(cosine_similarity(header_vector, type_vector), 0.0)
-                if similarity < self.config.semantic_threshold:
-                    continue
-                if similarity > best.get(type_name, 0.0):
-                    best[type_name] = similarity
+        best = dict(self._channel_scores(header))
 
         if self.config.filter_by_data_kind and best:
             best = self._filter_by_kind(column, best)
@@ -185,6 +347,35 @@ class HeaderMatcher(PipelineStep):
         return {index: self.predict_column(table.columns[index], table) for index in indices}
 
     # ----------------------------------------------------------------- helpers
+    def _channel_scores(self, header: str) -> dict[str, float]:
+        """Merged syntactic + semantic scores for one normalised header.
+
+        Cached per header (the channels do not depend on the column values),
+        so columns repeating a header — even with different data types — do
+        the string and embedding work once.
+        """
+        cached = self._score_cache.get(header)
+        if cached is not None:
+            return cached
+
+        best = self._syntactic_scores(header)
+
+        # Semantic channel: embeddings are L2-normalised, so one
+        # matrix-vector product against the precomputed type matrix yields
+        # every cosine similarity at once.
+        if self.embedder is not None and self._type_matrix is not None and len(self._type_names):
+            header_vector = self.embedder.embed_text(header)
+            similarities = self._type_matrix @ header_vector
+            for type_name, raw in zip(self._type_names, similarities):
+                similarity = max(float(raw), 0.0)
+                if similarity < self.config.semantic_threshold:
+                    continue
+                if similarity > best.get(type_name, 0.0):
+                    best[type_name] = similarity
+
+        self._score_cache[header] = best
+        return best
+
     def _filter_by_kind(self, column: Column, candidates: dict[str, float]) -> dict[str, float]:
         """Drop candidates whose expected data kind contradicts the values."""
         column_type = column.data_type

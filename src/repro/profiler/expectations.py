@@ -143,7 +143,7 @@ def _check_null_fraction_at_most(expectation: Expectation, column: Column) -> Ex
 def _check_distinct_count_between(expectation: Expectation, column: Column) -> ExpectationResult:
     low = int(expectation.params["min"])
     high = int(expectation.params["max"])
-    distinct = len(set(column.text_values()))
+    distinct = len(column.value_counts())
     success = low <= distinct <= high
     return ExpectationResult(expectation.kind, success, 1.0 if success else 0.0, f"distinct={distinct}")
 
@@ -229,6 +229,8 @@ def build_expectation_suite(
         Columns with at most this many distinct values additionally get a
         ``values_in_set`` expectation.
     """
+    # profile_column is memoized on the column, so deriving a suite for a
+    # column the featurizer or DPBD already profiled reuses that profile.
     statistics = statistics or profile_column(column)
     suite = ExpectationSuite(name=name or f"profile:{column.name}")
 

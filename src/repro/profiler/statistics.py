@@ -147,18 +147,39 @@ def _quantile(sorted_values: Sequence[float], fraction: float) -> float:
 
 
 def profile_column(column: Column, max_frequent: int = 10, max_templates: int = 3) -> ColumnStatistics:
-    """Compute the full :class:`ColumnStatistics` profile of *column*."""
+    """Compute the full :class:`ColumnStatistics` profile of *column*.
+
+    Profiles are memoized on the column: the featurizer, the expectation
+    profiler, and DPBD labeling-function inference all profile the same
+    columns, so repeated calls return the same (shared, treat-as-immutable)
+    :class:`ColumnStatistics` object.  Mutating ``column.values`` requires an
+    explicit :meth:`~repro.core.table.Column.invalidate_cache` to refresh it.
+    """
+    return column._memo(
+        ("profile", max_frequent, max_templates),
+        lambda: _compute_profile(column, max_frequent, max_templates),
+    )
+
+
+def _compute_profile(column: Column, max_frequent: int, max_templates: int) -> ColumnStatistics:
     text_values = column.text_values()
     numeric_values = column.numeric_values()
     row_count = len(column)
     null_count = row_count - len(text_values)
+
+    # The column's memoized occurrence counts serve the distinct count, the
+    # most-frequent ranking, the character-class mix, the length statistics,
+    # and the template histogram: every per-occurrence quantity is an
+    # integer, so weighting each distinct value by its multiplicity is exact
+    # and avoids re-walking repeated values.
+    value_counts = column.value_counts()
 
     profile = ColumnStatistics(
         column_name=column.name,
         data_type=column.data_type,
         row_count=row_count,
         null_count=null_count,
-        distinct_count=len(set(text_values)),
+        distinct_count=len(value_counts),
         most_frequent_values=column.most_frequent_values(max_frequent),
     )
 
@@ -173,24 +194,26 @@ def profile_column(column: Column, max_frequent: int = 10, max_templates: int = 
         profile.std_dev = float(stats.pstdev(ordered)) if len(ordered) > 1 else 0.0
 
     if text_values:
-        lengths = [len(value) for value in text_values]
-        profile.min_length = min(lengths)
-        profile.max_length = max(lengths)
-        profile.mean_length = sum(lengths) / len(lengths)
-        total_chars = sum(lengths) or 1
-        digits = sum(char.isdigit() for value in text_values for char in value)
-        alphas = sum(char.isalpha() for value in text_values for char in value)
-        spaces = sum(char.isspace() for value in text_values for char in value)
+        lengths = {value: len(value) for value in value_counts}
+        profile.min_length = min(lengths.values())
+        profile.max_length = max(lengths.values())
+        total_chars = sum(lengths[value] * count for value, count in value_counts.items())
+        profile.mean_length = total_chars / len(text_values)
+        total_chars = total_chars or 1
+        digits = alphas = spaces = 0
+        template_counts: dict[str, int] = {}
+        for value, count in value_counts.items():
+            digits += count * sum(char.isdigit() for char in value)
+            alphas += count * sum(char.isalpha() for char in value)
+            spaces += count * sum(char.isspace() for char in value)
+            template = character_template(value)
+            template_counts[template] = template_counts.get(template, 0) + count
         profile.digit_fraction = digits / total_chars
         profile.alpha_fraction = alphas / total_chars
         profile.whitespace_fraction = spaces / total_chars
         profile.punctuation_fraction = max(
             0.0, 1.0 - profile.digit_fraction - profile.alpha_fraction - profile.whitespace_fraction
         )
-        template_counts: dict[str, int] = {}
-        for value in text_values:
-            template = character_template(value)
-            template_counts[template] = template_counts.get(template, 0) + 1
         ranked = sorted(template_counts.items(), key=lambda item: (-item[1], item[0]))
         profile.common_templates = [template for template, _ in ranked[:max_templates]]
 

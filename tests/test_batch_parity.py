@@ -1,0 +1,265 @@
+"""Parity tests for the batched inference fast path.
+
+The cascade's batch path (``extract_many``, ``predict_proba_batch``, batched
+header matching) must be a pure optimisation: per-column features are bitwise
+identical to the one-at-a-time path, ranked predictions are identical, and
+probabilities agree to floating-point noise (a batched matrix product may
+differ from a per-row product in the last ulp).  The memoized profile/value
+layer on :class:`~repro.core.table.Column` must honour explicit invalidation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ontology import build_default_ontology
+from repro.core.table import Column, Table
+from repro.embedding_model.features import ColumnFeaturizer
+from repro.embedding_model.step import TableEmbeddingStep
+from repro.matching.embeddings import SubwordEmbedder
+from repro.matching.header_matcher import HeaderMatcher
+from repro.profiler.statistics import profile_column
+
+
+def _tables(corpus, limit=6):
+    return list(corpus)[:limit]
+
+
+def _rows(tables):
+    return [(column, table) for table in tables for column in table.columns]
+
+
+class TestFeaturizerParity:
+    def test_extract_many_matches_extract_bitwise(self, eval_corpus):
+        """Batch featurization equals the per-column path, bit for bit.
+
+        Two independent featurizer instances are used so the comparison also
+        proves that cache warmth (profiles, phrase embeddings, shape masks)
+        never changes a value.
+        """
+        rows = _rows(_tables(eval_corpus))
+        batch_featurizer = ColumnFeaturizer()
+        single_featurizer = ColumnFeaturizer()
+
+        batched = batch_featurizer.extract_many(rows)
+        singles = np.vstack(
+            [single_featurizer.extract(column, table) for column, table in rows]
+        )
+        assert batched.shape == singles.shape
+        assert np.array_equal(batched, singles)
+
+    def test_extract_samples_once_per_column(self, eval_corpus):
+        """extract() issues exactly one value-sampling call per column."""
+        table = _tables(eval_corpus, limit=1)[0]
+        column = table.columns[0].copy()
+        calls = []
+        original = Column.sample
+
+        def counting_sample(self, k, seed=None):
+            calls.append((k, seed))
+            return original(self, k, seed=seed)
+
+        Column.sample = counting_sample
+        try:
+            ColumnFeaturizer().extract(column, table)
+        finally:
+            Column.sample = original
+        assert len(calls) == 1
+
+
+class TestClassifierParity:
+    def test_predict_proba_batch_close_to_single(self, trained_classifier, eval_corpus):
+        rows = _rows(_tables(eval_corpus, limit=4))
+        batched = trained_classifier.predict_proba_batch(rows)
+        vocabulary = trained_classifier.vocabulary
+        assert batched.shape == (len(rows), len(vocabulary))
+        for row_index, (column, table) in enumerate(rows):
+            single = trained_classifier.predict_proba(column, table)
+            single_vector = np.array([single[t] for t in vocabulary.types])
+            np.testing.assert_allclose(
+                batched[row_index], single_vector, rtol=1e-9, atol=1e-12
+            )
+
+    def test_batch_predictions_identical_to_single(self, trained_classifier, eval_corpus):
+        """The ranked candidates (names and order) match the per-column path."""
+        rows = _rows(_tables(eval_corpus, limit=4))
+        batched = trained_classifier.predict_columns_batch(rows, top_k=5)
+        for (column, table), ranked in zip(rows, batched):
+            single = trained_classifier.predict_column(column, table, top_k=5)
+            assert [s.type_name for s in ranked] == [s.type_name for s in single]
+            np.testing.assert_allclose(
+                [s.confidence for s in ranked],
+                [s.confidence for s in single],
+                rtol=1e-9,
+                atol=1e-12,
+            )
+
+    def test_embedding_step_uses_batch_path(self, trained_classifier, eval_corpus):
+        table = _tables(eval_corpus, limit=1)[0]
+        step = TableEmbeddingStep(trained_classifier)
+        results = step.predict_columns(table)
+        assert sorted(results) == list(range(table.num_columns))
+        for index, ranked in results.items():
+            single = trained_classifier.predict_column(
+                table.columns[index], table, top_k=step.top_k
+            )
+            assert [s.type_name for s in ranked] == [s.type_name for s in single]
+
+
+class TestHeaderMatcherParity:
+    def test_batched_header_matching_identical(self, ontology, eval_corpus):
+        """Table-at-a-time matching equals fresh per-column matching exactly."""
+        tables = _tables(eval_corpus)
+        batch_matcher = HeaderMatcher.with_trained_embedder(ontology)
+        fresh_matcher = HeaderMatcher(
+            ontology, embedder=batch_matcher.embedder, config=batch_matcher.config
+        )
+        for table in tables:
+            batched = batch_matcher.predict_columns(table)
+            for index, column in enumerate(table.columns):
+                assert batched[index] == fresh_matcher.predict_column(column, table)
+
+    def test_alias_screen_is_exact(self, ontology):
+        """The vectorized candidate screen never changes syntactic scores.
+
+        Compares the screened scorer against the unscreened reference loop
+        (score every alias with combined_similarity) over headers designed to
+        stress every screen branch: exact aliases, near-misses, token
+        reorderings, abbreviations, and unrelated noise.
+        """
+        from repro.matching.fuzzy import combined_similarity, normalize_header
+
+        matcher = HeaderMatcher.with_trained_embedder(ontology)
+
+        def reference(header):
+            best = {}
+            for alias, type_names in matcher._alias_index.items():
+                similarity = combined_similarity(header, alias)
+                if similarity < matcher.config.syntactic_threshold:
+                    continue
+                confidence = (
+                    1.0 if similarity >= matcher.config.exact_threshold else similarity
+                )
+                for type_name in type_names:
+                    if confidence > best.get(type_name, 0.0):
+                        best[type_name] = confidence
+            return best
+
+        headers = [
+            "salary", "Salaries", "anual_salary", "customer name", "name of customer",
+            "CUST_NM", "birth date", "date_of_birth", "dt", "email adress",
+            "e-mail", "zip", "zipcode", "phone number", "compny", "citty",
+            "qty", "x", "foobarbaz", "latitude longitude", "user id",
+        ]
+        headers += list(matcher._alias_index)[:40]
+        for header in headers:
+            normalized = normalize_header(header)
+            if not normalized:
+                continue
+            assert matcher._syntactic_scores(normalized) == reference(normalized), header
+
+    def test_type_matrix_rows_are_normalised_embeddings(self, ontology):
+        matcher = HeaderMatcher.with_trained_embedder(ontology)
+        assert matcher._type_matrix is not None
+        assert matcher._type_matrix.shape[0] == len(matcher._type_names)
+        for row, name in zip(matcher._type_matrix, matcher._type_names):
+            assert np.array_equal(row, np.asarray(matcher._type_embeddings[name]))
+            norm = np.linalg.norm(row)
+            assert norm == 0.0 or norm == pytest.approx(1.0)
+
+
+class TestEmbedderCaches:
+    def test_phrase_cache_hits_return_same_vector(self):
+        embedder = SubwordEmbedder()
+        first = embedder.embed_text("customer name")
+        second = embedder.embed_text("customer name")
+        assert first is second  # cached object, not a recomputation
+
+    def test_fit_invalidates_phrase_cache(self):
+        embedder = SubwordEmbedder(ngram_dim=32, context_dim=8)
+        before = embedder.embed_text("salary")
+        assert before.shape == (32,)
+        embedder.fit([["salary", "income"], ["city", "town"]])
+        after = embedder.embed_text("salary")
+        assert after.shape == (40,)
+
+    def test_most_similar_uses_cached_candidate_matrix(self):
+        embedder = SubwordEmbedder()
+        candidates = ["salaries", "country", "price"]
+        first = embedder.most_similar("salary", candidates, top_k=3)
+        assert len(embedder._candidate_cache) == 1
+        second = embedder.most_similar("salary", candidates, top_k=3)
+        assert first == second
+        assert first[0][0] == "salaries"
+
+
+class TestProfileMemoization:
+    def test_profile_is_memoized_per_column(self):
+        column = Column("status", ["Active", "Inactive", "Active", None])
+        first = profile_column(column)
+        assert profile_column(column) is first
+
+    def test_invalidate_cache_refreshes_profile_and_views(self):
+        column = Column("status", ["Active", "Inactive"])
+        stale_profile = profile_column(column)
+        assert stale_profile.row_count == 2
+        assert column.text_values() == ["Active", "Inactive"]
+
+        column.values.append("Pending")
+        # Derived state is memoized: an explicit invalidation is required.
+        assert profile_column(column) is stale_profile
+        column.invalidate_cache()
+
+        fresh_profile = profile_column(column)
+        assert fresh_profile is not stale_profile
+        assert fresh_profile.row_count == 3
+        assert fresh_profile.distinct_count == 3
+        assert column.text_values() == ["Active", "Inactive", "Pending"]
+
+    def test_sample_cache_is_keyed_by_arguments(self):
+        column = Column("x", [str(i) for i in range(100)])
+        a = column.sample(10, seed=1)
+        b = column.sample(10, seed=2)
+        assert column.sample(10, seed=1) is a
+        assert a != b
+
+    def test_copies_do_not_share_caches(self):
+        column = Column("x", ["1", "2", "3"])
+        profile_column(column)
+        clone = column.copy()
+        clone.values.append("4")
+        assert profile_column(clone).row_count == 4
+        assert profile_column(column).row_count == 3
+
+
+class TestBulkAnnotation:
+    def test_annotate_corpus_matches_per_table_annotate(self, pretrained_typer, eval_corpus):
+        tables = _tables(eval_corpus, limit=4)
+        bulk = pretrained_typer.annotate_corpus(tables)
+        assert len(bulk) == len(tables)
+        for table, bulk_prediction in zip(tables, bulk):
+            single = pretrained_typer.annotate(table)
+            assert [c.predicted_type for c in bulk_prediction.columns] == [
+                c.predicted_type for c in single.columns
+            ]
+            assert [c.abstained for c in bulk_prediction.columns] == [
+                c.abstained for c in single.columns
+            ]
+
+    def test_full_ontology_parity_smoke(self, pretrained_typer):
+        """A fresh synthetic table annotated twice gives identical results."""
+        table = Table.from_columns_dict(
+            {
+                "Name": ["Ann Li", "Bo Chen", "Cy Dee"],
+                "City": ["Paris", "Berlin", "Madrid"],
+                "Total": ["12.5", "99.0", "4.25"],
+            },
+            name="parity-smoke",
+        )
+        first = pretrained_typer.annotate(table)
+        second = pretrained_typer.annotate(table)
+        assert [c.predicted_type for c in first.columns] == [
+            c.predicted_type for c in second.columns
+        ]
+        assert [c.scores for c in first.columns] == [c.scores for c in second.columns]
