@@ -34,8 +34,16 @@ from repro.core.table import Column, Table
 from repro.corpus.collection import TableCorpus
 from repro.corpus.gittables import GitTablesConfig, GitTablesGenerator
 from repro.corpus.webtables import WebTablesConfig, WebTablesGenerator
+from repro.serving import (
+    AnnotationService,
+    ExecutionBackend,
+    MultiprocessBackend,
+    ProfileStore,
+    SerialBackend,
+    ThreadedBackend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -60,6 +68,13 @@ __all__ = [
     # the system
     "SigmaTyper",
     "SigmaTyperConfig",
+    # serving
+    "AnnotationService",
+    "ProfileStore",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "MultiprocessBackend",
     # corpora
     "TableCorpus",
     "GitTablesGenerator",

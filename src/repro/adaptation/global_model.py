@@ -47,6 +47,10 @@ class GlobalModelConfig:
     pretraining_tables: int = 150
     #: Number of background (unknown-class) tables when none are supplied.
     background_tables: int = 30
+    #: Execution backend for the pretraining corpus featurization pass
+    #: (``None``/"serial", "threaded[:N]", or "multiprocess[:N]" — the
+    #: multiprocess shard path produces bit-identical features).
+    featurization_backend: str | None = None
     seed: int = 7
 
 
@@ -113,13 +117,19 @@ class GlobalModel:
             config=config.value_lookup,
         )
 
-        # Step 3: the learned table-embedding classifier.
+        # Step 3: the learned table-embedding classifier.  The corpus
+        # featurization pass can be sharded by table across an execution
+        # backend (the multiprocess path keeps features bit-identical).
         embedding_step = None
         if include_learned_model:
             classifier = TableEmbeddingClassifier(
                 featurizer=ColumnFeaturizer(), mlp_config=config.mlp
             )
-            classifier.fit(training_corpus, background_corpus=background_corpus)
+            classifier.fit(
+                training_corpus,
+                background_corpus=background_corpus,
+                backend=config.featurization_backend,
+            )
             embedding_step = TableEmbeddingStep(classifier)
 
         steps = [header_matcher, value_lookup]
@@ -145,15 +155,23 @@ class GlobalModel:
         """Run the shared cascade on one table."""
         return self.pipeline.annotate(table)
 
-    def annotate_many(self, tables: Sequence[Table]) -> list[TablePrediction]:
+    def annotate_many(self, tables: Sequence[Table], backend=None) -> list[TablePrediction]:
         """Run the shared cascade over a corpus of tables.
 
         Each table still goes through the confidence-gated cascade, but every
         step receives all of a table's pending columns at once (batched
         featurization, one MLP forward per table) and the memoized column
-        profiles/embedding caches stay warm across the whole run.
+        profiles/embedding caches stay warm across the whole run.  An optional
+        execution ``backend`` ("threaded", "multiprocess", or an
+        :class:`~repro.serving.backends.ExecutionBackend`) shards the corpus
+        by table across workers with identical results.
         """
-        return self.pipeline.annotate_many(tables)
+        tables = list(tables)
+        if backend is None:
+            return self.pipeline.annotate_many(tables)
+        from repro.serving.backends import resolve_backend
+
+        return resolve_backend(backend).run(self.pipeline.annotate_many, tables)
 
     @property
     def classifier(self) -> TableEmbeddingClassifier | None:

@@ -58,3 +58,7 @@ class CorpusError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when tables or models cannot be serialized or deserialized."""
+
+
+class ServingError(ReproError):
+    """Raised by the serving layer (backends, profile store, async service)."""

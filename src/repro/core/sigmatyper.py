@@ -19,7 +19,10 @@ calibrated from a validation corpus so a target precision is met.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from functools import partial
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
 
 from repro.adaptation.customer import CustomerContext
 from repro.adaptation.global_model import GlobalModel, GlobalModelConfig
@@ -27,10 +30,14 @@ from repro.adaptation.local_model import LocalModelConfig
 from repro.core.aggregation import calibrate_tau
 from repro.core.errors import ConfigurationError, PipelineError
 from repro.core.ontology import TypeOntology, UNKNOWN_TYPE
+from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
 from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
 from repro.core.table import Table
 from repro.corpus.collection import TableCorpus
 from repro.dpbd.session import AdaptationUpdate
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.serving.backends import ExecutionBackend
 
 __all__ = ["SigmaTyperConfig", "SigmaTyper"]
 
@@ -63,6 +70,12 @@ class SigmaTyper:
         #: The corpus DPBD mines for weak labels (defaults to the pretraining corpus).
         self.source_corpus = source_corpus or global_model.training_corpus
         self._customers: dict[str, CustomerContext] = {}
+        #: Lazily built variant of the global pipeline with the cascade
+        #: short-circuit disabled (adapted customers need every step's
+        #: evidence).  Kept in sync explicitly: :meth:`set_tau` propagates τ,
+        #: and :meth:`invalidate_exhaustive_pipeline` forces a rebuild after
+        #: structural pipeline changes.
+        self._exhaustive: TypeDetectionPipeline | None = None
 
     # ----------------------------------------------------------------- factory
     @classmethod
@@ -149,10 +162,14 @@ class SigmaTyper:
         return self.global_model.pipeline.config.tau
 
     def set_tau(self, tau: float) -> None:
-        """Override the precision threshold τ."""
+        """Override the precision threshold τ (on every derived pipeline too)."""
         if not 0.0 <= tau <= 1.0:
             raise ConfigurationError("tau must be in [0, 1]")
         self.global_model.pipeline.config.tau = tau
+        # Explicit invalidation of the derived exhaustive pipeline's τ: it is
+        # the only piece of its config that recalibration may change.
+        if self._exhaustive is not None:
+            self._exhaustive.config.tau = tau
 
     def annotate(self, table: Table, customer_id: str | None = None) -> TablePrediction:
         """Predict the semantic types of every column in *table*.
@@ -175,26 +192,53 @@ class SigmaTyper:
         return self._blend_with_local(table, global_prediction, context)
 
     def annotate_corpus(
-        self, tables: Iterable[Table], customer_id: str | None = None
+        self,
+        tables: Iterable[Table],
+        customer_id: str | None = None,
+        backend: "ExecutionBackend | str | None" = None,
     ) -> list[TablePrediction]:
         """Bulk-annotate many tables (a :class:`TableCorpus` or any iterable).
 
         This is the high-throughput entry point: per-table results are
         identical to calling :meth:`annotate` in a loop, but the batched
         pipeline steps and the memoized profile/embedding caches are shared
-        across the whole corpus, so warm-cache throughput is much higher than
-        table-at-a-time calls from a cold start.
+        across the whole corpus.  Adapted customers ride the same bulk path:
+        the exhaustive pipeline annotates the corpus with
+        ``annotate_many`` and the global/local blend is vectorized per table.
+
+        ``backend`` shards the corpus by table across workers — ``None`` /
+        ``"serial"`` runs in-process, ``"threaded"`` / ``"multiprocess"`` (or
+        an :class:`~repro.serving.backends.ExecutionBackend` instance, e.g.
+        ``"multiprocess:4"``) fan out; every backend returns predictions
+        identical to the serial path.
         """
+        from repro.serving.backends import resolve_backend
+
+        tables = list(tables)
+        execution = resolve_backend(backend)
         if customer_id is None:
-            return self.global_model.annotate_many(list(tables))
-        return [self.annotate(table, customer_id=customer_id) for table in tables]
+            return execution.run(self.global_model.pipeline.annotate_many, tables)
+        context = self.customer(customer_id)
+        if not context.local_model.has_adaptations():
+            return execution.run(self.global_model.pipeline.annotate_many, tables)
+        return execution.run(partial(self._annotate_adapted_many, customer_id), tables)
 
-    def _exhaustive_pipeline(self):
+    def _annotate_adapted_many(
+        self, customer_id: str, tables: Sequence[Table]
+    ) -> list[TablePrediction]:
+        """One shard of the adapted-customer bulk path (backend-friendly)."""
+        context = self.customer(customer_id)
+        pipeline = self._exhaustive_pipeline()
+        global_predictions = pipeline.annotate_many(list(tables))
+        return [
+            self._blend_with_local(table, prediction, context)
+            for table, prediction in zip(tables, global_predictions)
+        ]
+
+    def _exhaustive_pipeline(self) -> TypeDetectionPipeline:
         """The global pipeline with the cascade short-circuit disabled."""
-        from repro.core.pipeline import CascadeConfig, TypeDetectionPipeline
-
-        base = self.global_model.pipeline
-        if getattr(self, "_exhaustive", None) is None:
+        if self._exhaustive is None:
+            base = self.global_model.pipeline
             config = CascadeConfig(
                 confidence_threshold=base.config.confidence_threshold,
                 tau=base.config.tau,
@@ -203,9 +247,15 @@ class SigmaTyper:
                 aggregation_method=base.config.aggregation_method,
             )
             self._exhaustive = TypeDetectionPipeline(base.steps, config=config, aggregator=base.aggregator)
-        # Keep τ in sync with the main pipeline (it may have been recalibrated).
-        self._exhaustive.config.tau = base.config.tau
         return self._exhaustive
+
+    def invalidate_exhaustive_pipeline(self) -> None:
+        """Force a rebuild of the derived exhaustive pipeline.
+
+        Call after structurally modifying ``global_model.pipeline`` (steps,
+        thresholds other than τ — :meth:`set_tau` already propagates τ).
+        """
+        self._exhaustive = None
 
     def _blend_with_local(
         self,
@@ -213,17 +263,77 @@ class SigmaTyper:
         global_prediction: TablePrediction,
         context: CustomerContext,
     ) -> TablePrediction:
-        tau = self.tau
+        """Blend one table's global prediction with a customer's local evidence.
+
+        The per-type convex combination and the competing-type discount of
+        :meth:`~repro.adaptation.local_model.LocalModel.combine_with_global`
+        are applied to all of the table's columns at once on a shared type
+        axis, and the local classifier (when finetuned) runs one batched
+        forward per table instead of one per column.
+        """
         local_model = context.local_model
-        blended_columns: list[ColumnPrediction] = []
-        for prediction in global_prediction.columns:
-            column = table.columns[prediction.column_index]
+        columns = [table.columns[p.column_index] for p in global_prediction.columns]
+        local_scores_per_column = local_model.predict_scores_table(columns, table)
+
+        # Shared type axis: the union of candidate types across the table.
+        type_names: list[str] = []
+        type_index: dict[str, int] = {}
+        global_scores_per_column: list[dict[str, float]] = []
+        for prediction, local_scores in zip(global_prediction.columns, local_scores_per_column):
             global_scores = {score.type_name: score.confidence for score in prediction.scores}
-            combined = local_model.combine_with_global(global_scores, column, table)
-            combined.pop(UNKNOWN_TYPE, None)
+            global_scores_per_column.append(global_scores)
+            for type_name in (*global_scores, *local_scores):
+                if type_name not in type_index:
+                    type_index[type_name] = len(type_names)
+                    type_names.append(type_name)
+
+        num_columns = len(columns)
+        num_types = len(type_names)
+        global_matrix = np.zeros((num_columns, num_types), dtype=np.float64)
+        local_matrix = np.zeros((num_columns, num_types), dtype=np.float64)
+        #: Type participates in the column's local evidence (even at 0.0).
+        local_present = np.zeros((num_columns, num_types), dtype=bool)
+        #: Type is a candidate for the column at all (drives the output set).
+        candidate = np.zeros((num_columns, num_types), dtype=bool)
+        for row, (global_scores, local_scores) in enumerate(
+            zip(global_scores_per_column, local_scores_per_column)
+        ):
+            for type_name, confidence in global_scores.items():
+                index = type_index[type_name]
+                global_matrix[row, index] = confidence
+                candidate[row, index] = True
+            for type_name, confidence in local_scores.items():
+                index = type_index[type_name]
+                local_matrix[row, index] = confidence
+                local_present[row, index] = True
+                candidate[row, index] = True
+
+        weights = local_model.weights
+        local_weight = np.array(
+            [weights.local_weight(type_name) for type_name in type_names], dtype=np.float64
+        )
+        if num_types:
+            # Per-type convex combination W_g·global + W_l·local, then the
+            # competing-type discount: types without local evidence are scaled
+            # by one minus the customer's strongest local signal, so repeated
+            # corrections can overturn a confident-but-wrong global label.
+            combined = (1.0 - local_weight)[None, :] * global_matrix
+            combined += local_weight[None, :] * local_matrix
+            override_strength = np.where(
+                local_present, local_weight[None, :] * local_matrix, 0.0
+            ).max(axis=1)
+            discounted = combined * (1.0 - override_strength)[:, None]
+            combined = np.where(local_present, combined, discounted)
+        else:
+            combined = np.zeros((num_columns, 0), dtype=np.float64)
+
+        tau = self.tau
+        blended_columns: list[ColumnPrediction] = []
+        for row, prediction in enumerate(global_prediction.columns):
             ranked = [
-                TypeScore(confidence=confidence, type_name=type_name)
-                for type_name, confidence in combined.items()
+                TypeScore(confidence=float(combined[row, index]), type_name=type_name)
+                for index, type_name in enumerate(type_names)
+                if candidate[row, index] and type_name != UNKNOWN_TYPE
             ]
             ranked.sort(key=lambda score: (-score.confidence, score.type_name))
             top = ranked[: self.config.top_k]
@@ -312,18 +422,22 @@ class SigmaTyper:
         validation_corpus: TableCorpus,
         target_precision: float = 0.95,
         customer_id: str | None = None,
+        backend: "ExecutionBackend | str | None" = None,
     ) -> float:
         """Pick τ from a labeled validation corpus so precision reaches the target.
 
-        Returns the calibrated τ (and installs it on the pipeline).
+        Calibration rides the batched :meth:`annotate_corpus` path (optionally
+        sharded across an execution backend).  Returns the calibrated τ (and
+        installs it on the pipeline).
         """
         scored: list[tuple[float, bool]] = []
         original_tau = self.tau
         # Collect raw confidences with thresholding disabled.
         self.set_tau(0.0)
         try:
-            for table in validation_corpus:
-                prediction = self.annotate(table, customer_id=customer_id)
+            tables = list(validation_corpus)
+            predictions = self.annotate_corpus(tables, customer_id=customer_id, backend=backend)
+            for table, prediction in zip(tables, predictions):
                 for column, column_prediction in zip(table.columns, prediction.columns):
                     if column.semantic_type is None or not column_prediction.scores:
                         continue

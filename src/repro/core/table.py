@@ -13,6 +13,7 @@ CSV export — type interpretation is performed lazily by
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
@@ -20,7 +21,33 @@ from typing import Callable, Iterable, Iterator, Mapping, Sequence
 from repro.core.datatypes import DataType, coerce_numeric, infer_column_type, is_null
 from repro.core.errors import ColumnNotFoundError, TableError
 
-__all__ = ["Column", "Table"]
+__all__ = [
+    "Column",
+    "Table",
+    "get_active_profile_store",
+    "set_active_profile_store",
+]
+
+#: Process-wide shared store for memoized derived column state.  ``None`` (the
+#: default) keeps every cache private to its :class:`Column` instance; a
+#: long-running service installs a
+#: :class:`~repro.serving.profile_store.ProfileStore` so short-lived tables
+#: with recurring content reuse warm entries.  The store only needs two
+#: methods: ``namespace(content_hash) -> dict`` and ``invalidate(content_hash)``.
+_ACTIVE_PROFILE_STORE = None
+
+
+def set_active_profile_store(store):
+    """Install *store* as the shared derived-state store; returns the previous one."""
+    global _ACTIVE_PROFILE_STORE
+    previous = _ACTIVE_PROFILE_STORE
+    _ACTIVE_PROFILE_STORE = store
+    return previous
+
+
+def get_active_profile_store():
+    """The currently installed shared profile store (``None`` when unset)."""
+    return _ACTIVE_PROFILE_STORE
 
 
 @dataclass
@@ -52,7 +79,10 @@ class Column:
     #: Memoized derived state (value views, samples, profiles).  Keyed by a
     #: descriptive tuple; cleared as one unit by :meth:`invalidate_cache`.
     #: The cached lists are shared with callers and must not be mutated.
+    #: When a shared profile store is active, the namespace lives there
+    #: (keyed by :meth:`content_hash`) instead of on the column.
     _derived: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _content_hash: str | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.values = list(self.values)
@@ -70,17 +100,66 @@ class Column:
             self._data_type = infer_column_type(self.values)
         return self._data_type
 
+    def content_hash(self) -> str:
+        """A stable digest of the column's identity (header plus raw values).
+
+        Two columns with the same name and cell-for-cell equal values share
+        the hash, which is what lets a shared profile store hand warm derived
+        state to short-lived :class:`Column` instances wrapping recurring
+        content.  The digest is process-independent (``blake2b``, not the
+        salted builtin ``hash``) and distinguishes value types (``1`` vs
+        ``"1"``).  Memoized until :meth:`invalidate_cache`.
+        """
+        if self._content_hash is None:
+            # Every field is framed with a length prefix, which makes the
+            # encoding injective: no choice of name/values can reproduce
+            # another column's byte stream (a bare delimiter could, since cell
+            # values may contain any character).
+            hasher = hashlib.blake2b(digest_size=16)
+
+            def frame(data: bytes) -> None:
+                hasher.update(len(data).to_bytes(8, "little"))
+                hasher.update(data)
+
+            frame(self.name.encode("utf-8", "surrogatepass"))
+            hasher.update(len(self.values).to_bytes(8, "little"))
+            for value in self.values:
+                if value is None:
+                    hasher.update(b"\x00")
+                    continue
+                hasher.update(b"\x01")
+                frame(type(value).__name__.encode("utf-8", "replace"))
+                frame(str(value).encode("utf-8", "surrogatepass"))
+            self._content_hash = hasher.hexdigest()
+        return self._content_hash
+
     def invalidate_cache(self) -> None:
         """Drop cached derived state after the values were mutated."""
         self._data_type = None
         self._derived.clear()
+        store = _ACTIVE_PROFILE_STORE
+        if store is not None and self._content_hash is not None:
+            store.invalidate(self._content_hash)
+        self._content_hash = None
+
+    def _namespace(self) -> dict:
+        """The dict holding this column's memoized derived state.
+
+        Private per column by default; served by the active profile store
+        (shared across all columns with equal content) when one is installed.
+        """
+        store = _ACTIVE_PROFILE_STORE
+        if store is None:
+            return self._derived
+        return store.namespace(self.content_hash())
 
     def _memo(self, key: object, compute: Callable[[], object]) -> object:
         """Return the cached value for *key*, computing it on first access."""
+        namespace = self._namespace()
         try:
-            return self._derived[key]
+            return namespace[key]
         except KeyError:
-            value = self._derived[key] = compute()
+            value = namespace[key] = compute()
             return value
 
     def non_null_values(self) -> list[object]:

@@ -64,17 +64,21 @@ class TableEmbeddingClassifier:
         corpus: TableCorpus,
         background_corpus: TableCorpus | None = None,
         vocabulary: LabelVocabulary | None = None,
+        backend=None,
     ) -> "_FitReport":
         """Train from scratch on an annotated corpus.
 
         ``background_corpus`` columns are labeled ``unknown`` so the model
-        learns an explicit out-of-distribution class.
+        learns an explicit out-of-distribution class.  ``backend`` optionally
+        shards the corpus featurization pass across an execution backend
+        (features stay bit-identical to the serial pass).
         """
         dataset = build_dataset(
             corpus,
             self.featurizer,
             vocabulary=vocabulary,
             background_corpus=background_corpus,
+            backend=backend,
         )
         return self._fit_dataset(dataset, warm_start=False)
 

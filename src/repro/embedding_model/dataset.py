@@ -134,6 +134,7 @@ def build_dataset(
     vocabulary: LabelVocabulary | None = None,
     background_corpus: TableCorpus | None = None,
     extra_examples: Sequence[tuple[Column, Table | None, str]] = (),
+    backend=None,
 ) -> ColumnDataset:
     """Featurize every labeled column of *corpus* into a training dataset.
 
@@ -149,6 +150,11 @@ def build_dataset(
     extra_examples:
         Additional ``(column, table, label)`` triples, used for the weakly
         labeled data generated by DPBD.
+    backend:
+        Optional execution backend (spec string or
+        :class:`~repro.serving.backends.ExecutionBackend`) that shards the
+        featurization pass.  Rows stay in corpus order and are bit-identical
+        to the serial pass, so the trained model is unchanged.
     """
     triples = list(_iter_labeled_columns(corpus))
     triples.extend((column, table, label) for column, table, label in extra_examples if label)
@@ -175,7 +181,21 @@ def build_dataset(
         labels.append(class_index)
         provenance.append((table.name if table is not None else "", column.name))
 
-    features = featurizer.extract_many(rows)
+    if backend is None:
+        features = featurizer.extract_many(rows)
+    else:
+        from repro.serving.backends import resolve_backend
+
+        # Shards are contiguous runs of (column, table) pairs, so a table's
+        # columns mostly land in one shard and its pickled payload carries
+        # each table once.  Rows come back in order; stacking them reproduces
+        # the serial feature matrix bit-for-bit.
+        row_features = resolve_backend(backend).map_shards(featurizer.extract_many, rows)
+        features = (
+            np.vstack(row_features)
+            if row_features
+            else np.zeros((0, featurizer.dim), dtype=np.float64)
+        )
     return ColumnDataset(
         features=features,
         labels=np.asarray(labels, dtype=np.int64),

@@ -22,7 +22,9 @@ single-column and full-table inference.
 
 from __future__ import annotations
 
+import itertools
 import math
+import os
 import re
 from dataclasses import dataclass
 
@@ -58,6 +60,10 @@ _SHAPE_PATTERNS: list[tuple[str, re.Pattern[str]]] = [
 
 #: Cap on the per-featurizer shape-mask cache (cleared wholesale when full).
 _SHAPE_MASK_CACHE_MAX = 65536
+
+#: Per-process counter distinguishing featurizer instances inside a shared
+#: profile store (see :attr:`ColumnFeaturizer._cache_token`).
+_FEATURIZER_TOKENS = itertools.count()
 
 
 def _signed_log(value: float) -> float:
@@ -98,6 +104,13 @@ class ColumnFeaturizer:
         #: value → 0/1 pattern-hit vector; values repeat across columns and
         #: tables, so shape matching mostly becomes a dictionary lookup.
         self._shape_mask_cache: dict[str, np.ndarray] = {}
+        #: Namespaces this featurizer's memoized per-column feature vectors
+        #: inside the column's derived-state cache (and therefore inside a
+        #: shared profile store).  pid + counter: forked/unpickled copies keep
+        #: their parent's token — they carry the same weights, so sharing warm
+        #: entries is correct — while independently constructed featurizers
+        #: never collide.
+        self._cache_token = f"{os.getpid()}-{next(_FEATURIZER_TOKENS)}"
 
     # ------------------------------------------------------------------- shape
     @property
@@ -129,7 +142,31 @@ class ColumnFeaturizer:
 
     # ----------------------------------------------------------------- extract
     def extract(self, column: Column, table: Table | None = None) -> np.ndarray:
-        """Featurize one column (optionally in its table context)."""
+        """Featurize one column (optionally in its table context).
+
+        The column-local blocks (everything except table context) are a pure
+        function of the column's content and this featurizer's configuration,
+        so they are memoized on the column — and shared across short-lived
+        column instances when a profile store is active.  Only the cheap
+        context block depends on the surrounding table.
+        """
+        blocks = [self._column_features(column)]
+        if self.config.include_table_context:
+            blocks.append(self._context_features(column, table))
+        return np.concatenate(blocks)
+
+    def _column_features(self, column: Column) -> np.ndarray:
+        """The memoized table-independent feature prefix (treat as read-only)."""
+        key = (
+            "column_features",
+            self._cache_token,
+            self.config.value_sample_size,
+            self.config.seed,
+            self.config.include_header,
+        )
+        return column._memo(key, lambda: self._compute_column_features(column))  # noqa: SLF001
+
+    def _compute_column_features(self, column: Column) -> np.ndarray:
         # Sample once and share between the shape and embedding blocks (the
         # sample itself is additionally memoized on the column).
         values = self._sample_values(column)
@@ -141,8 +178,6 @@ class ColumnFeaturizer:
         ]
         if self.config.include_header:
             blocks.append(self.embedder.embed_text(column.name))
-        if self.config.include_table_context:
-            blocks.append(self._context_features(column, table))
         return np.concatenate(blocks)
 
     def extract_many(

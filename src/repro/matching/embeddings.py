@@ -227,7 +227,13 @@ class SubwordEmbedder:
         """
         cached = self._phrase_cache.get(text)
         if cached is not None:
-            self._phrase_cache.move_to_end(text)
+            # Threaded serving shares this cache; a concurrent eviction
+            # between the get and the LRU touch is harmless — the vector in
+            # hand stays valid.
+            try:
+                self._phrase_cache.move_to_end(text)
+            except KeyError:
+                pass
             return cached
         tokens = tokenize_header(text)
         if not tokens:
@@ -239,7 +245,10 @@ class SubwordEmbedder:
             vector = mean / norm if norm > 0 else mean
         self._phrase_cache[text] = vector
         if len(self._phrase_cache) > self._phrase_cache_max:
-            self._phrase_cache.popitem(last=False)
+            try:
+                self._phrase_cache.popitem(last=False)
+            except KeyError:
+                pass
         return vector
 
     def similarity(self, first: str, second: str) -> float:
@@ -261,7 +270,10 @@ class SubwordEmbedder:
             items = tuple((candidate, candidate) for candidate in candidates)
         cached = self._candidate_cache.get(items)
         if cached is not None:
-            self._candidate_cache.move_to_end(items)
+            try:
+                self._candidate_cache.move_to_end(items)
+            except KeyError:  # concurrently evicted; the tuple in hand is valid
+                pass
             keys, matrix = cached
         else:
             keys = [key for key, _ in items]
@@ -272,7 +284,10 @@ class SubwordEmbedder:
             )
             self._candidate_cache[items] = (keys, matrix)
             if len(self._candidate_cache) > self._candidate_cache_max:
-                self._candidate_cache.popitem(last=False)
+                try:
+                    self._candidate_cache.popitem(last=False)
+                except KeyError:
+                    pass
         # embed_text outputs are L2-normalised (or all-zero), so a plain
         # matrix-vector product gives the cosine similarities directly.
         query_vector = self.embed_text(query)

@@ -1,0 +1,42 @@
+"""Serving layer: execution backends, shared profile store, async facade.
+
+This package turns the batch-first inference stack into something that can
+serve production traffic:
+
+* :mod:`repro.serving.backends` — an :class:`ExecutionBackend` abstraction
+  (``serial``, ``threaded``, ``multiprocess``) that shards a corpus by table
+  and fans bulk annotation (or pretraining featurization) out across workers,
+  with results guaranteed identical to the serial path;
+* :mod:`repro.serving.profile_store` — a bounded, content-hash-keyed LRU
+  :class:`ProfileStore` that lifts the per-``Column`` memoized derived state
+  (profiles, value views, feature vectors) off short-lived table objects so a
+  long-running service reuses warm entries;
+* :mod:`repro.serving.service` — an :class:`AnnotationService` wrapping a
+  :class:`~repro.core.sigmatyper.SigmaTyper` with an asyncio request queue,
+  per-customer routing, micro-batching, and graceful shutdown.
+"""
+
+from repro.serving.backends import (
+    ExecutionBackend,
+    MultiprocessBackend,
+    SerialBackend,
+    ThreadedBackend,
+    available_workers,
+    resolve_backend,
+    shard_items,
+)
+from repro.serving.profile_store import ProfileStore
+from repro.serving.service import AnnotationService, ServiceStats
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "MultiprocessBackend",
+    "available_workers",
+    "resolve_backend",
+    "shard_items",
+    "ProfileStore",
+    "AnnotationService",
+    "ServiceStats",
+]

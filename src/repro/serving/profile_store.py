@@ -1,0 +1,144 @@
+"""Bounded, content-hash-keyed store for derived column state.
+
+PR 1 memoized every derived view of a column (non-null/text/numeric values,
+value counts, seeded samples, ``profile_column`` statistics, and — through the
+featurizer — the column-local feature vector) on the :class:`Column` object
+itself.  That is ideal for batch jobs, but a long-running service wraps many
+*short-lived* ``Column`` instances around recurring content: every request
+deserialises fresh tables, so the caches die with them.
+
+:class:`ProfileStore` lifts those memo namespaces off the column into a
+process-wide LRU keyed by :meth:`Column.content_hash`
+(header + cell values), so any two columns with identical content — across
+tables, requests, and customers — share one namespace of derived state.
+Derived state is a pure function of column content, which is what makes the
+sharing safe: a warm entry is byte-for-byte what the cold computation would
+have produced, so predictions are unchanged (pinned by
+``tests/test_serving.py``).
+
+Install a store globally with :meth:`ProfileStore.activate` (a long-running
+service does this once at startup) or temporarily with the
+:meth:`ProfileStore.activated` context manager.  Sizing: one entry holds the
+derived state of one distinct column (roughly the column's values again, plus
+a ~200-float feature vector), so ``max_columns`` of a few thousand costs tens
+of megabytes; size it to the working set of distinct columns you expect
+between repeats, not to total traffic.  After retraining or refitting any
+model component, :meth:`clear` the store — entries are keyed by content only
+and would otherwise serve features from the old model.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+from repro.core.table import get_active_profile_store, set_active_profile_store
+
+__all__ = ["ProfileStore"]
+
+
+class ProfileStore:
+    """A bounded LRU of per-column derived-state namespaces.
+
+    Thread-safe: the threaded execution backend and the async service hit one
+    shared store concurrently.  Namespace *creation and eviction* are guarded
+    by a lock; the namespaces themselves are plain dicts filled by
+    :meth:`Column._memo` — concurrent fills of the same key recompute the same
+    deterministic value, so last-write-wins is harmless.
+    """
+
+    def __init__(self, max_columns: int = 4096) -> None:
+        if max_columns < 1:
+            raise ConfigurationError("max_columns must be at least 1")
+        self.max_columns = max_columns
+        self._lock = threading.RLock()
+        self._namespaces: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ access
+    def namespace(self, content_hash: str) -> dict:
+        """The shared derived-state dict for a column content hash.
+
+        Creates (and possibly evicts the least recently used entry) on first
+        sight; moves the entry to most-recently-used position on every hit.
+        """
+        with self._lock:
+            entry = self._namespaces.get(content_hash)
+            if entry is not None:
+                self.hits += 1
+                self._namespaces.move_to_end(content_hash)
+                return entry
+            self.misses += 1
+            entry = self._namespaces[content_hash] = {}
+            while len(self._namespaces) > self.max_columns:
+                self._namespaces.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def invalidate(self, content_hash: str) -> bool:
+        """Drop one entry (used by ``Column.invalidate_cache``); True if present."""
+        with self._lock:
+            return self._namespaces.pop(content_hash, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss statistics."""
+        with self._lock:
+            self._namespaces.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._namespaces)
+
+    def __contains__(self, content_hash: str) -> bool:
+        return content_hash in self._namespaces
+
+    # ------------------------------------------------------------- installation
+    def activate(self) -> "ProfileStore":
+        """Install this store process-wide (returns self for chaining)."""
+        set_active_profile_store(self)
+        return self
+
+    def deactivate(self) -> None:
+        """Uninstall this store if it is the active one."""
+        if get_active_profile_store() is self:
+            set_active_profile_store(None)
+
+    @contextmanager
+    def activated(self) -> Iterator["ProfileStore"]:
+        """Temporarily install this store, restoring the previous one after."""
+        previous = set_active_profile_store(self)
+        try:
+            yield self
+        finally:
+            set_active_profile_store(previous)
+
+    # ------------------------------------------------------------------- report
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of namespace lookups served from a warm entry."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, object]:
+        """Counters for dashboards, benchmarks, and the E11 report."""
+        return {
+            "entries": len(self._namespaces),
+            "max_columns": self.max_columns,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ProfileStore(entries={len(self._namespaces)}, max_columns={self.max_columns}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

@@ -1,0 +1,263 @@
+"""Async annotation facade: request queue, micro-batching, per-customer routing.
+
+The deployment the paper targets is a multi-tenant product annotating customer
+tables online.  :class:`AnnotationService` is that serving shell around a
+:class:`~repro.core.sigmatyper.SigmaTyper`: callers ``await
+service.annotate(table, customer_id=...)`` concurrently, a single worker task
+drains the request queue, coalesces whatever arrived within a short batching
+window into per-customer groups, and runs each group through the batched
+``annotate_corpus`` path off the event loop.  Per-request results are
+identical to calling ``SigmaTyper.annotate`` directly — micro-batching only
+amortises shared work (warm caches, one cascade pass per group), it never
+mixes customers: each group is annotated with exactly the requester's
+``customer_id``, so one tenant's local model can never leak into another's
+predictions.
+
+Shutdown is graceful: :meth:`shutdown` stops accepting new requests, lets the
+worker drain everything already enqueued, and fails any stragglers with
+:class:`~repro.core.errors.ServingError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ConfigurationError, ServingError
+from repro.core.prediction import TablePrediction
+from repro.core.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.core.sigmatyper import SigmaTyper
+    from repro.serving.backends import ExecutionBackend
+
+__all__ = ["AnnotationService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters describing the service's batching behaviour."""
+
+    requests_total: int = 0
+    batches_total: int = 0
+    largest_batch: int = 0
+    errors_total: int = 0
+    rejected_total: int = 0
+    requests_by_customer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average number of requests coalesced per cascade invocation."""
+        return self.requests_total / self.batches_total if self.batches_total else 0.0
+
+    def record_batch(self, batch_size: int, customers: dict[str, int]) -> None:
+        self.requests_total += batch_size
+        self.batches_total += 1
+        self.largest_batch = max(self.largest_batch, batch_size)
+        for customer, count in customers.items():
+            self.requests_by_customer[customer] = (
+                self.requests_by_customer.get(customer, 0) + count
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation for logs and benchmarks."""
+        return {
+            "requests_total": self.requests_total,
+            "batches_total": self.batches_total,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "largest_batch": self.largest_batch,
+            "errors_total": self.errors_total,
+            "rejected_total": self.rejected_total,
+            "requests_by_customer": dict(self.requests_by_customer),
+        }
+
+
+class _Request:
+    """One enqueued annotation request and the future its caller awaits."""
+
+    __slots__ = ("table", "customer_id", "future")
+
+    def __init__(self, table: Table, customer_id: str | None, future: asyncio.Future) -> None:
+        self.table = table
+        self.customer_id = customer_id
+        self.future = future
+
+
+#: Queue sentinel that tells the worker to finish draining and exit.
+_STOP = object()
+
+#: Stats key for requests without a customer (the shared global model).
+_GLOBAL = "<global>"
+
+
+class AnnotationService:
+    """Asyncio serving facade over a :class:`SigmaTyper`.
+
+    Parameters
+    ----------
+    typer:
+        The (pretrained) system to serve.  Customer registration and feedback
+        still go through the ``SigmaTyper`` API directly.
+    max_batch_size:
+        Upper bound on requests coalesced into one queue drain.
+    max_batch_delay:
+        Seconds the worker waits for additional requests after the first one
+        of a batch arrives.  A couple of milliseconds is enough to coalesce
+        genuinely concurrent traffic; latency-sensitive deployments set 0 to
+        batch only what is already queued.
+    backend:
+        Optional :class:`~repro.serving.backends.ExecutionBackend` (or spec
+        string) used for the ``annotate_corpus`` call of each batch.  Leave
+        unset (serial) for typical online micro-batches — the multiprocess
+        backend forks a pool per call, which only pays off for large batches.
+    """
+
+    def __init__(
+        self,
+        typer: "SigmaTyper",
+        max_batch_size: int = 32,
+        max_batch_delay: float = 0.005,
+        backend: "ExecutionBackend | str | None" = None,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be at least 1")
+        if max_batch_delay < 0:
+            raise ConfigurationError("max_batch_delay must be non-negative")
+        self.typer = typer
+        self.max_batch_size = max_batch_size
+        self.max_batch_delay = max_batch_delay
+        self.backend = backend
+        self.stats = ServiceStats()
+        self._queue: asyncio.Queue | None = None
+        self._worker: asyncio.Task | None = None
+        self._accepting = False
+
+    # ---------------------------------------------------------------- lifecycle
+    @property
+    def is_running(self) -> bool:
+        """Whether the worker task is up and the service accepts requests."""
+        return self._accepting and self._worker is not None
+
+    async def start(self) -> "AnnotationService":
+        """Start the queue worker (idempotent only before :meth:`shutdown`)."""
+        if self._worker is not None:
+            raise ServingError("AnnotationService is already running")
+        self._queue = asyncio.Queue()
+        self._accepting = True
+        self._worker = asyncio.get_running_loop().create_task(self._worker_loop())
+        return self
+
+    async def shutdown(self) -> None:
+        """Stop accepting requests, drain everything enqueued, stop the worker."""
+        if self._worker is None:
+            return
+        self._accepting = False
+        assert self._queue is not None
+        await self._queue.put(_STOP)
+        try:
+            await self._worker
+        finally:
+            self._worker = None
+            # Anything that raced past the accepting flag after the sentinel
+            # was enqueued can no longer be served.
+            while not self._queue.empty():
+                leftover = self._queue.get_nowait()
+                if leftover is _STOP:
+                    continue
+                if not leftover.future.done():
+                    leftover.future.set_exception(ServingError("AnnotationService shut down"))
+                self.stats.rejected_total += 1
+            self._queue = None
+
+    async def __aenter__(self) -> "AnnotationService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    # ----------------------------------------------------------------- requests
+    async def annotate(self, table: Table, customer_id: str | None = None) -> TablePrediction:
+        """Annotate one table; identical to ``SigmaTyper.annotate`` per request."""
+        if not self._accepting or self._queue is None:
+            self.stats.rejected_total += 1
+            raise ServingError("AnnotationService is not accepting requests")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Request(table, customer_id, future))
+        return await future
+
+    # ------------------------------------------------------------------- worker
+    async def _worker_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            request = await self._queue.get()
+            if request is _STOP:
+                break
+            batch = [request]
+            stop_after_batch = False
+            deadline = loop.time() + self.max_batch_delay
+            while len(batch) < self.max_batch_size:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Window elapsed: still coalesce whatever is already queued.
+                    try:
+                        next_request = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        next_request = await asyncio.wait_for(self._queue.get(), timeout)
+                    except asyncio.TimeoutError:
+                        break
+                if next_request is _STOP:
+                    stop_after_batch = True
+                    break
+                batch.append(next_request)
+            await self._process_batch(batch)
+            if stop_after_batch:
+                break
+
+    async def _process_batch(self, batch: list[_Request]) -> None:
+        loop = asyncio.get_running_loop()
+        groups: dict[str | None, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.customer_id, []).append(request)
+        self.stats.record_batch(
+            len(batch),
+            {customer_id if customer_id is not None else _GLOBAL: len(requests)
+             for customer_id, requests in groups.items()},
+        )
+        for customer_id, requests in groups.items():
+            tables = [request.table for request in requests]
+            annotate = partial(
+                self.typer.annotate_corpus,
+                tables,
+                customer_id=customer_id,
+                backend=self.backend,
+            )
+            try:
+                predictions = await loop.run_in_executor(None, annotate)
+            except Exception as exc:  # noqa: BLE001 - surfaced per request
+                self.stats.errors_total += len(requests)
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            ServingError(f"annotation failed: {exc}")
+                        )
+                continue
+            for request, prediction in zip(requests, predictions):
+                if not request.future.done():
+                    request.future.set_result(prediction)
+
+    # ------------------------------------------------------------------- report
+    def summary(self) -> dict[str, object]:
+        """Service-level report (running state, batching knobs, stats)."""
+        return {
+            "running": self.is_running,
+            "max_batch_size": self.max_batch_size,
+            "max_batch_delay": self.max_batch_delay,
+            "backend": getattr(self.backend, "name", self.backend) or "serial",
+            "stats": self.stats.to_dict(),
+        }
