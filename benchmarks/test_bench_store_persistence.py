@@ -1,0 +1,168 @@
+"""E12: profile-store persistence — cold vs disk-warm vs memory-warm serving.
+
+E11 showed the in-memory :class:`ProfileStore` amortising derived-state
+computation across short-lived tables *within* one process.  This experiment
+measures the :class:`PersistentProfileStore` disk tier built on top of it:
+the same corpus is annotated (1) fully cold, (2) by a "restarted process" —
+a fresh store object reopening the segment files the first store flushed —
+and (3) a second wave against the now memory-warm store.
+
+Two properties are pinned:
+
+* **parity** — disk-warm and memory-warm predictions are bit-identical to
+  the cold (storeless) path;
+* **restart warmth** — the reopened store serves at least 90% of namespace
+  lookups from a warm tier (memory or disk) on the same corpus, the PR's
+  acceptance bar for store persistence.
+
+Results land in ``BENCH_store_persistence.json`` at the repo root (columns/s
+per phase, hit rates, recovery counters) so the persistence trajectory stays
+comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import GitTablesConfig, GitTablesGenerator
+from repro.evaluation import format_table
+from repro.serving import PersistentProfileStore, available_workers
+
+#: Machine-readable E12 results, committed at the repo root alongside the E10
+#: and E11 artifacts.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_store_persistence.json"
+
+#: Corpus size: enough distinct columns to make recovery/lookup costs visible,
+#: small enough for a CI smoke run.
+PERSISTENCE_TABLES = 120
+
+#: The PR's acceptance bar for restart warmth.
+MIN_RESTART_HIT_RATE = 0.9
+
+
+@pytest.fixture(scope="module")
+def persistence_corpus():
+    """A dedicated corpus (distinct seed from training and E11)."""
+    return GitTablesGenerator(
+        GitTablesConfig(num_tables=PERSISTENCE_TABLES, seed=90210)
+    ).generate_corpus()
+
+
+def _fresh(tables):
+    """Cold per-column caches, as every incoming request would carry."""
+    return [table.copy() for table in tables]
+
+
+def _comparable(predictions):
+    """Prediction content without wall-clock timings (bit-exact floats)."""
+    return [(p.table_name, p.step_trace, p.columns) for p in predictions]
+
+
+def test_store_persistence(
+    benchmark, sigmatyper, persistence_corpus, record_result, tmp_path_factory
+):
+    tables = list(persistence_corpus)
+    num_columns = sum(table.num_columns for table in tables)
+    store_dir = tmp_path_factory.mktemp("profile-store")
+
+    # Warm the model-level caches (embedder phrases, shape masks) once so all
+    # phases face identical model state; per-column caches stay cold per phase
+    # because each gets fresh table copies.
+    sigmatyper.annotate_corpus(_fresh(tables))
+
+    rows = []
+
+    def phase(name, store, store_stats_after=None):
+        batch = _fresh(tables)
+        started = time.perf_counter()
+        if store is None:
+            predictions = sigmatyper.annotate_corpus(batch)
+        else:
+            with store.activated():
+                predictions = sigmatyper.annotate_corpus(batch)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "phase": name,
+                "seconds_total": round(elapsed, 3),
+                "columns_per_second": round(num_columns / elapsed, 1),
+                "hit_rate": round(store.hit_rate, 4) if store is not None else 0.0,
+                "disk_hits": store.disk_hits if store is not None else 0,
+            }
+        )
+        return predictions
+
+    # Reference: the storeless serial path.
+    reference = _comparable(phase("no store (baseline)", None))
+
+    # Phase 1 — cold: a fresh store over an empty directory, then flush (the
+    # write-behind flusher's job, done synchronously for determinism).
+    cold_store = PersistentProfileStore(store_dir, max_columns=16384, flush_interval=0)
+    cold = phase("cold store", cold_store)
+    cold_store.flush()
+    flushed_entries = cold_store.disk_entries
+    cold_store.close()
+    assert _comparable(cold) == reference, "cold persistent store changed predictions"
+
+    # Phase 2 — disk-warm: a "restarted process" reopens the directory; every
+    # distinct column should be served from the recovered segment files.
+    warm_store = PersistentProfileStore(store_dir, max_columns=16384, flush_interval=0)
+    assert warm_store.recovered_entries == flushed_entries
+    disk_warm = phase("disk-warm (restart)", warm_store)
+    assert _comparable(disk_warm) == reference, "disk-warm store changed predictions"
+    restart_hit_rate = warm_store.hit_rate
+    restart_disk_hits = warm_store.disk_hits
+
+    # Phase 3 — memory-warm: a second wave against the same store instance.
+    memory_warm = phase("memory-warm", warm_store)
+    assert _comparable(memory_warm) == reference, "memory-warm store changed predictions"
+    final_stats = warm_store.stats()
+    warm_store.close()
+
+    usable_cpus = available_workers()
+    record_result(
+        "E12_store_persistence",
+        format_table(
+            rows,
+            title=(
+                f"E12 — profile-store persistence ({len(tables)} tables, "
+                f"{num_columns} columns, {usable_cpus} usable CPUs)"
+            ),
+        ),
+    )
+    BENCH_JSON_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "E12_store_persistence",
+                "usable_cpus": usable_cpus,
+                "num_tables": len(tables),
+                "num_columns": num_columns,
+                "flushed_entries": flushed_entries,
+                "restart_hit_rate": round(restart_hit_rate, 4),
+                "restart_disk_hits": restart_disk_hits,
+                "phases": rows,
+                "store": final_stats,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # A representative persistent-serving operation for pytest-benchmark: one
+    # bulk call over a small slice against a disk-warm store.
+    bench_store = PersistentProfileStore(store_dir, flush_interval=0)
+    with bench_store.activated():
+        benchmark(sigmatyper.annotate_corpus, tables[:5])
+    bench_store.close()
+
+    # Acceptance: the restarted store serves >= 90% of lookups warm.
+    assert restart_disk_hits > 0, "restart never touched the disk tier"
+    assert restart_hit_rate >= MIN_RESTART_HIT_RATE, (
+        f"restarted store served only {restart_hit_rate:.1%} of lookups warm "
+        f"(bar: {MIN_RESTART_HIT_RATE:.0%}); stats: {final_stats}"
+    )

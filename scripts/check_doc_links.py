@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fail CI when README or docs link to files that do not exist.
+
+Scans the repo's user-facing markdown (README.md, docs/*.md, ROADMAP.md,
+CHANGES.md) for inline links and verifies every *relative* target resolves to
+a real file or directory (anchors and external URLs are ignored; an anchor on
+a relative link is stripped before checking).  Exits non-zero listing every
+broken link so the CI docs job fails loudly instead of shipping dead
+references.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links must resolve (paths relative to the repo root).
+DOC_FILES = [
+    "README.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    *sorted(p.relative_to(REPO_ROOT) for p in (REPO_ROOT / "docs").glob("*.md")),
+]
+
+#: Inline markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def check_file(path: Path) -> list[str]:
+    broken = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for target in _LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                broken.append(f"{path.relative_to(REPO_ROOT)}:{line_number}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    broken: list[str] = []
+    checked = 0
+    for name in DOC_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            continue
+        checked += 1
+        broken.extend(check_file(path))
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken link(s) across {checked} file(s).")
+        return 1
+    print(f"All relative links resolve across {checked} markdown file(s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,9 +35,11 @@ from repro.corpus.collection import TableCorpus
 from repro.corpus.gittables import GitTablesConfig, GitTablesGenerator
 from repro.corpus.webtables import WebTablesConfig, WebTablesGenerator
 from repro.serving import (
+    AdaptiveBatchingConfig,
     AnnotationService,
     ExecutionBackend,
     MultiprocessBackend,
+    PersistentProfileStore,
     ProfileStore,
     SerialBackend,
     ThreadedBackend,
@@ -70,7 +72,9 @@ __all__ = [
     "SigmaTyperConfig",
     # serving
     "AnnotationService",
+    "AdaptiveBatchingConfig",
     "ProfileStore",
+    "PersistentProfileStore",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadedBackend",

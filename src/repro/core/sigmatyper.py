@@ -457,8 +457,16 @@ class SigmaTyper:
 
     # ------------------------------------------------------------------ report
     def summary(self) -> dict[str, object]:
-        """System-level report (pipeline steps, τ, customers, adaptations)."""
-        return {
+        """System-level report (pipeline steps, τ, customers, adaptations).
+
+        When a shared profile store is active (see
+        :mod:`repro.serving.profile_store`), its hit/miss/persistence counters
+        are included under ``profile_store`` so one call captures the full
+        serving-side state of the system.
+        """
+        from repro.core.table import get_active_profile_store
+
+        report: dict[str, object] = {
             "pipeline_steps": self.global_model.pipeline.step_names,
             "tau": self.tau,
             "confidence_threshold": self.global_model.pipeline.config.confidence_threshold,
@@ -468,3 +476,7 @@ class SigmaTyper:
                 for customer_id, context in self._customers.items()
             },
         }
+        store = get_active_profile_store()
+        if store is not None and hasattr(store, "stats"):
+            report["profile_store"] = store.stats()
+        return report

@@ -22,9 +22,8 @@ single-column and full-table inference.
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import math
-import os
 import re
 from dataclasses import dataclass
 
@@ -60,10 +59,6 @@ _SHAPE_PATTERNS: list[tuple[str, re.Pattern[str]]] = [
 
 #: Cap on the per-featurizer shape-mask cache (cleared wholesale when full).
 _SHAPE_MASK_CACHE_MAX = 65536
-
-#: Per-process counter distinguishing featurizer instances inside a shared
-#: profile store (see :attr:`ColumnFeaturizer._cache_token`).
-_FEATURIZER_TOKENS = itertools.count()
 
 
 def _signed_log(value: float) -> float:
@@ -104,13 +99,53 @@ class ColumnFeaturizer:
         #: value → 0/1 pattern-hit vector; values repeat across columns and
         #: tables, so shape matching mostly becomes a dictionary lookup.
         self._shape_mask_cache: dict[str, np.ndarray] = {}
-        #: Namespaces this featurizer's memoized per-column feature vectors
-        #: inside the column's derived-state cache (and therefore inside a
-        #: shared profile store).  pid + counter: forked/unpickled copies keep
-        #: their parent's token — they carry the same weights, so sharing warm
-        #: entries is correct — while independently constructed featurizers
-        #: never collide.
-        self._cache_token = f"{os.getpid()}-{next(_FEATURIZER_TOKENS)}"
+        #: Lazily computed digest namespacing this featurizer's memoized
+        #: per-column feature vectors inside the column's derived-state cache
+        #: (and therefore inside a shared profile store).  See
+        #: :meth:`cache_token`.
+        self._cache_token: str | None = None
+        self._cache_token_fingerprint: tuple | None = None
+
+    def cache_token(self) -> str:
+        """A stable digest of everything (besides column content) the memoized
+        feature prefix depends on: the embedder's structure and learned word
+        vectors plus the shape/statistics code contract.
+
+        Two featurizers with byte-identical embedder state produce identical
+        feature vectors, so they *should* share warm profile-store entries —
+        including entries persisted to disk by an earlier process.  That is
+        what makes a :class:`~repro.serving.profile_store.PersistentProfileStore`
+        useful across restarts: deterministic pretraining rebuilds the same
+        embedder, the token matches, and the stored feature vectors are served
+        instead of recomputed.  Featurizers with different learned state never
+        collide.  The token is recomputed if the embedder is refit in place
+        (callers should still ``clear()`` any active store after retraining,
+        as its other derived entries may be stale too).
+        """
+        embedder = self.embedder
+        fingerprint = (
+            embedder.is_fitted,
+            len(embedder._word_vectors),  # noqa: SLF001
+            getattr(embedder, "_fit_version", 0),
+        )
+        if self._cache_token is None or self._cache_token_fingerprint != fingerprint:
+            hasher = hashlib.blake2b(digest_size=8)
+            hasher.update(
+                repr(
+                    (
+                        embedder.ngram_dim,
+                        embedder.context_dim,
+                        embedder.ngram_range,
+                        embedder.is_fitted,
+                    )
+                ).encode("utf-8")
+            )
+            for token in sorted(embedder._word_vectors):  # noqa: SLF001
+                hasher.update(token.encode("utf-8", "surrogatepass"))
+                hasher.update(np.ascontiguousarray(embedder._word_vectors[token]).tobytes())  # noqa: SLF001
+            self._cache_token = hasher.hexdigest()
+            self._cache_token_fingerprint = fingerprint
+        return self._cache_token
 
     # ------------------------------------------------------------------- shape
     @property
@@ -159,7 +194,7 @@ class ColumnFeaturizer:
         """The memoized table-independent feature prefix (treat as read-only)."""
         key = (
             "column_features",
-            self._cache_token,
+            self.cache_token(),
             self.config.value_sample_size,
             self.config.seed,
             self.config.include_header,

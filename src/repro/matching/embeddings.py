@@ -98,6 +98,10 @@ class SubwordEmbedder:
         self._candidate_cache: OrderedDict[tuple, tuple[list[str], np.ndarray]] = OrderedDict()
         self._candidate_cache_max = 32
         self._fitted = False
+        #: Bumped by every :meth:`fit` so consumers caching state derived from
+        #: the learned vectors (e.g. the featurizer's cache token) can detect
+        #: an in-place refit even when the vocabulary size happens to match.
+        self._fit_version = 0
 
     # ------------------------------------------------------------- n-gram part
     def _char_ngrams(self, word: str) -> list[str]:
@@ -169,6 +173,7 @@ class SubwordEmbedder:
         # every derived phrase/candidate cache is stale.
         self._phrase_cache.clear()
         self._candidate_cache.clear()
+        self._fit_version += 1
         if not tokenised or not vocabulary:
             self._fitted = False
             return self

@@ -10,10 +10,17 @@ serve production traffic:
 * :mod:`repro.serving.profile_store` — a bounded, content-hash-keyed LRU
   :class:`ProfileStore` that lifts the per-``Column`` memoized derived state
   (profiles, value views, feature vectors) off short-lived table objects so a
-  long-running service reuses warm entries;
+  long-running service reuses warm entries, and
+  :class:`PersistentProfileStore`, which layers an append-only, crash-tolerant
+  disk tier underneath so warm state survives process restarts;
 * :mod:`repro.serving.service` — an :class:`AnnotationService` wrapping a
   :class:`~repro.core.sigmatyper.SigmaTyper` with an asyncio request queue,
-  per-customer routing, micro-batching, and graceful shutdown.
+  per-customer routing, micro-batching (fixed, or adaptive via
+  :class:`AdaptiveBatchingConfig`), and graceful shutdown.
+
+The package-wide contract is **parity**: every backend, cache tier, and
+batching mode returns predictions bit-identical to the plain serial path
+(see ``docs/ARCHITECTURE.md``).
 """
 
 from repro.serving.backends import (
@@ -25,8 +32,8 @@ from repro.serving.backends import (
     resolve_backend,
     shard_items,
 )
-from repro.serving.profile_store import ProfileStore
-from repro.serving.service import AnnotationService, ServiceStats
+from repro.serving.profile_store import PersistentProfileStore, ProfileStore
+from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
 
 __all__ = [
     "ExecutionBackend",
@@ -37,6 +44,8 @@ __all__ = [
     "resolve_backend",
     "shard_items",
     "ProfileStore",
+    "PersistentProfileStore",
+    "AdaptiveBatchingConfig",
     "AnnotationService",
     "ServiceStats",
 ]

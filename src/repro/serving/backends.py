@@ -17,6 +17,10 @@ cross process boundaries.  Without ``fork`` (Windows, macOS ``spawn``) the
 shard function itself is pickled to the workers, which requires it to be a
 picklable callable (bound methods of a picklable model are fine; closures are
 not).
+
+Spec strings, selection guidance, and the parity contract all backends obey
+are documented operator-side in ``docs/SERVING.md`` and design-side in
+``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations

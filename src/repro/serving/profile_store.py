@@ -1,4 +1,4 @@
-"""Bounded, content-hash-keyed store for derived column state.
+"""Bounded, content-hash-keyed stores for derived column state.
 
 PR 1 memoized every derived view of a column (non-null/text/numeric values,
 value counts, seeded samples, ``profile_column`` statistics, and — through the
@@ -16,6 +16,17 @@ sharing safe: a warm entry is byte-for-byte what the cold computation would
 have produced, so predictions are unchanged (pinned by
 ``tests/test_serving.py``).
 
+:class:`PersistentProfileStore` layers an append-only **disk tier** under that
+LRU, so warm state additionally survives process restarts and can be shared
+by ``multiprocess:N`` workers.  Namespaces are pickled into segment files
+keyed by the same content hashes, written behind the request path by a
+background flusher, recovered tolerantly on open (torn or corrupt tails of a
+segment are skipped, everything before them is served), and compacted when
+superseded records accumulate.  The persistence layer never changes
+predictions either: a disk-warm entry is the pickle round-trip of the exact
+bytes the cold computation produces (pinned by
+``tests/test_store_persistence.py`` and the E12 benchmark).
+
 Install a store globally with :meth:`ProfileStore.activate` (a long-running
 service does this once at startup) or temporarily with the
 :meth:`ProfileStore.activated` context manager.  Sizing: one entry holds the
@@ -24,20 +35,27 @@ a ~200-float feature vector), so ``max_columns`` of a few thousand costs tens
 of megabytes; size it to the working set of distinct columns you expect
 between repeats, not to total traffic.  After retraining or refitting any
 model component, :meth:`clear` the store — entries are keyed by content only
-and would otherwise serve features from the old model.
+and would otherwise serve features from the old model (``clear`` on a
+persistent store deletes its segment files too).  See ``docs/SERVING.md`` for
+the operator-facing guide.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import struct
 import threading
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator
 
 from repro.core.errors import ConfigurationError
 from repro.core.table import get_active_profile_store, set_active_profile_store
 
-__all__ = ["ProfileStore"]
+__all__ = ["ProfileStore", "PersistentProfileStore"]
 
 
 class ProfileStore:
@@ -48,6 +66,11 @@ class ProfileStore:
     by a lock; the namespaces themselves are plain dicts filled by
     :meth:`Column._memo` — concurrent fills of the same key recompute the same
     deterministic value, so last-write-wins is harmless.
+
+    Subclasses can layer a second tier underneath by overriding the
+    ``_load_fallback`` / ``_entry_evicted`` / ``_invalidate_tier`` /
+    ``_clear_tier`` hooks (see :class:`PersistentProfileStore`); the hot-path
+    behaviour of the plain in-memory store is unchanged.
     """
 
     def __init__(self, max_columns: int = 4096) -> None:
@@ -66,6 +89,8 @@ class ProfileStore:
 
         Creates (and possibly evicts the least recently used entry) on first
         sight; moves the entry to most-recently-used position on every hit.
+        Subclasses with a second tier get a chance to serve the entry from
+        there before a fresh namespace is created.
         """
         with self._lock:
             entry = self._namespaces.get(content_hash)
@@ -73,22 +98,33 @@ class ProfileStore:
                 self.hits += 1
                 self._namespaces.move_to_end(content_hash)
                 return entry
-            self.misses += 1
-            entry = self._namespaces[content_hash] = {}
+            entry = self._load_fallback(content_hash)
+            if entry is None:
+                self.misses += 1
+                entry = {}
+            self._namespaces[content_hash] = entry
             while len(self._namespaces) > self.max_columns:
-                self._namespaces.popitem(last=False)
+                evicted_hash, evicted = self._namespaces.popitem(last=False)
+                self._entry_evicted(evicted_hash, evicted)
                 self.evictions += 1
             return entry
 
     def invalidate(self, content_hash: str) -> bool:
-        """Drop one entry (used by ``Column.invalidate_cache``); True if present."""
+        """Drop one entry (used by ``Column.invalidate_cache``); True if present.
+
+        On a tiered store this reaches every tier: the in-memory entry is
+        dropped *and* any persisted copy is tombstoned.
+        """
         with self._lock:
-            return self._namespaces.pop(content_hash, None) is not None
+            in_memory = self._namespaces.pop(content_hash, None) is not None
+            in_tier = self._invalidate_tier(content_hash)
+            return in_memory or in_tier
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss statistics."""
+        """Drop every entry (in every tier) and reset the statistics."""
         with self._lock:
             self._namespaces.clear()
+            self._clear_tier()
             self.hits = 0
             self.misses = 0
             self.evictions = 0
@@ -98,6 +134,21 @@ class ProfileStore:
 
     def __contains__(self, content_hash: str) -> bool:
         return content_hash in self._namespaces
+
+    # ----------------------------------------------------------- tier hooks
+    def _load_fallback(self, content_hash: str) -> dict | None:
+        """Serve a namespace from a lower tier on an LRU miss (None = miss)."""
+        return None
+
+    def _entry_evicted(self, content_hash: str, namespace: dict) -> None:
+        """Called (under the lock) for every entry the LRU evicts."""
+
+    def _invalidate_tier(self, content_hash: str) -> bool:
+        """Drop *content_hash* from the lower tier; True if it was present."""
+        return False
+
+    def _clear_tier(self) -> None:
+        """Drop the lower tier's state entirely."""
 
     # ------------------------------------------------------------- installation
     def activate(self) -> "ProfileStore":
@@ -121,13 +172,18 @@ class ProfileStore:
 
     # ------------------------------------------------------------------- report
     @property
+    def lookups(self) -> int:
+        """Total namespace lookups observed."""
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of namespace lookups served from a warm entry."""
-        total = self.hits + self.misses
+        total = self.lookups
         return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, object]:
-        """Counters for dashboards, benchmarks, and the E11 report."""
+        """Counters for dashboards, benchmarks, and the E11/E12 reports."""
         return {
             "entries": len(self._namespaces),
             "max_columns": self.max_columns,
@@ -139,6 +195,540 @@ class ProfileStore:
 
     def __repr__(self) -> str:
         return (
-            f"ProfileStore(entries={len(self._namespaces)}, max_columns={self.max_columns}, "
-            f"hit_rate={self.hit_rate:.2f})"
+            f"{type(self).__name__}(entries={len(self._namespaces)}, "
+            f"max_columns={self.max_columns}, hit_rate={self.hit_rate:.2f})"
         )
+
+
+# --------------------------------------------------------------------- on-disk
+#: Magic bytes opening every segment file (versioned).
+_SEGMENT_MAGIC = b"SPSEG1\n"
+#: Record header: flag (u8), 16-byte key digest, payload length (u64 LE),
+#: payload crc32 (u32 LE).
+_RECORD_HEADER = struct.Struct("<B16sQI")
+_RECORD_DATA = 0x01
+_RECORD_TOMBSTONE = 0x02
+
+
+class PersistentProfileStore(ProfileStore):
+    """A :class:`ProfileStore` with an append-only on-disk tier.
+
+    The in-memory LRU stays exactly as before; underneath it, namespaces are
+    pickled into **segment files** inside *directory*, keyed by the same
+    :meth:`Column.content_hash`.  The design is a tiny log-structured store:
+
+    * **Append-only segments.**  Every persisted namespace is one framed
+      record (flag, 16-byte key digest, length, crc32, pickle payload).  A
+      record for an already-stored key simply supersedes the older record;
+      :meth:`ProfileStore.invalidate` appends a *tombstone*.  Nothing is ever
+      rewritten in place, so a crash can only ever damage the tail of the
+      active segment.
+    * **Write-behind flusher.**  ``namespace()`` never touches the disk on the
+      write side; a daemon thread wakes every *flush_interval* seconds and
+      appends every namespace whose content changed since it was last
+      persisted (:meth:`flush` does the same synchronously, and eviction from
+      the LRU flushes the evicted entry so warm state is never lost).  Set
+      ``flush_interval=0`` to disable the thread and flush manually.
+    * **Corruption-tolerant recovery.**  Opening a directory scans its
+      segments in order and indexes every intact record; the first torn or
+      corrupt record of a segment (bad magic, short header, short payload,
+      crc mismatch) stops that segment's scan — everything before it is
+      served, everything after it is ignored and counted in
+      ``corrupt_records_skipped``.
+    * **Compaction.**  Superseded records and tombstones are dead bytes;
+      :meth:`compact` (also triggered automatically after a flush once the
+      dead fraction passes *compaction_dead_ratio*) copies the live records
+      into a fresh segment and deletes the old files.
+    * **Fork-friendly.**  Each process appends to its own segment file, so
+      forked ``multiprocess:N`` workers inheriting the store can persist
+      independently without interleaving writes; recovery merges all
+      segments.  (Deterministic derived state makes concurrent writers safe:
+      any two records for one key hold equivalent payloads.)
+
+    Namespaces are served **lazily**: recovery only builds the key index, and
+    a namespace is unpickled the first time a request asks for it (counted in
+    ``disk_hits`` — :attr:`hit_rate` includes both tiers).
+
+    Parameters
+    ----------
+    directory:
+        Segment-file directory, created if missing.  Reopening the same
+        directory after a restart serves the previous process's warm state.
+    max_columns:
+        In-memory LRU capacity (the disk tier is unbounded until compaction).
+    flush_interval:
+        Seconds between write-behind flushes; ``0`` disables the background
+        thread (explicit :meth:`flush`/:meth:`close` only).
+    segment_max_bytes:
+        Active segment rolls over to a new file beyond this size.
+    compaction_dead_ratio:
+        Auto-compact (after a flush) once dead bytes exceed this fraction of
+        the total on-disk bytes.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_columns: int = 4096,
+        flush_interval: float = 1.0,
+        segment_max_bytes: int = 32 * 1024 * 1024,
+        compaction_dead_ratio: float = 0.5,
+    ) -> None:
+        super().__init__(max_columns=max_columns)
+        if flush_interval < 0:
+            raise ConfigurationError("flush_interval must be non-negative")
+        if segment_max_bytes < 1:
+            raise ConfigurationError("segment_max_bytes must be positive")
+        if not 0.0 < compaction_dead_ratio <= 1.0:
+            raise ConfigurationError("compaction_dead_ratio must be in (0, 1]")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.flush_interval = flush_interval
+        self.segment_max_bytes = segment_max_bytes
+        self.compaction_dead_ratio = compaction_dead_ratio
+
+        # Disk-tier statistics (all monotonic counters except the byte gauges).
+        self.disk_hits = 0
+        self.flushes = 0
+        self.flushed_entries = 0
+        self.recovered_entries = 0
+        self.corrupt_records_skipped = 0
+        self.tombstones = 0
+        self.compactions = 0
+        self.pickle_errors = 0
+
+        #: content hash -> (segment path, payload offset, payload length).
+        self._index: dict[str, tuple[Path, int, int]] = {}
+        #: Segments this store may retire: files present at open plus files
+        #: this process wrote.  A concurrent sibling's newer segments are
+        #: never touched by our compaction.
+        self._owned_paths: set[Path] = set()
+        #: Namespace sizes as last persisted (dirty = live size differs).
+        self._persisted_sizes: dict[str, int] = {}
+        #: Keys whose namespaces failed to pickle (never retried).
+        self._unpicklable: set[str] = set()
+        self._live_bytes = 0
+        self._total_bytes = 0
+        self._next_segment_index = 1
+        self._writer = None
+        self._writer_path: Path | None = None
+        self._writer_size = 0
+        self._writer_pid: int | None = None
+        self._flusher: threading.Thread | None = None
+        self._flusher_wakeup = threading.Event()
+        self._closed = False
+        self._recover()
+
+    # ----------------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Index every intact record in the directory's segment files."""
+        header_size = _RECORD_HEADER.size
+        for path in sorted(self.directory.glob("segment-*.seg")):
+            try:
+                segment_index = int(path.name.split("-")[1])
+                self._next_segment_index = max(self._next_segment_index, segment_index + 1)
+            except (IndexError, ValueError):
+                pass
+            try:
+                data = path.read_bytes()
+            except OSError:
+                self.corrupt_records_skipped += 1
+                continue
+            self._owned_paths.add(path)
+            if not data.startswith(_SEGMENT_MAGIC):
+                self.corrupt_records_skipped += 1
+                continue
+            self._total_bytes += len(data)
+            offset = len(_SEGMENT_MAGIC)
+            while offset < len(data):
+                if offset + header_size > len(data):
+                    self.corrupt_records_skipped += 1
+                    break
+                flag, key_bytes, length, crc = _RECORD_HEADER.unpack_from(data, offset)
+                payload_offset = offset + header_size
+                if flag not in (_RECORD_DATA, _RECORD_TOMBSTONE) or (
+                    payload_offset + length > len(data)
+                ):
+                    self.corrupt_records_skipped += 1
+                    break
+                payload = data[payload_offset : payload_offset + length]
+                if zlib.crc32(payload) != crc:
+                    self.corrupt_records_skipped += 1
+                    break
+                key = key_bytes.hex()
+                previous = self._index.pop(key, None)
+                if previous is not None:
+                    self._live_bytes -= header_size + previous[2]
+                if flag == _RECORD_DATA:
+                    self._index[key] = (path, payload_offset, length)
+                    self._live_bytes += header_size + length
+                offset = payload_offset + length
+        self.recovered_entries = len(self._index)
+
+    # ----------------------------------------------------------------- writing
+    def _ensure_writer(self):
+        """The append handle for this process's active segment (fork-aware)."""
+        pid = os.getpid()
+        if self._writer is not None and self._writer_pid == pid:
+            if self._writer_size < self.segment_max_bytes:
+                return self._writer
+            self._writer.close()
+            self._writer = None
+        elif self._writer is not None:
+            # Forked child: the inherited handle shares the parent's file
+            # offset — abandon it (without closing the shared fd state) and
+            # append to a segment of our own.
+            self._writer = None
+            self._flusher = None
+        path = self.directory / f"segment-{self._next_segment_index:08d}-{pid}.seg"
+        self._next_segment_index += 1
+        # Unbuffered: a record is visible to readers as soon as it is written,
+        # which keeps eviction-flushed entries immediately loadable.
+        self._writer = open(path, "ab", buffering=0)
+        if self._writer.tell() == 0:
+            self._writer.write(_SEGMENT_MAGIC)
+            self._total_bytes += len(_SEGMENT_MAGIC)
+        self._writer_path = path
+        self._writer_size = self._writer.tell()
+        self._writer_pid = pid
+        self._owned_paths.add(path)
+        return self._writer
+
+    def _append_record(self, flag: int, content_hash: str, payload: bytes) -> None:
+        writer = self._ensure_writer()
+        header = _RECORD_HEADER.pack(
+            flag, bytes.fromhex(content_hash), len(payload), zlib.crc32(payload)
+        )
+        payload_offset = self._writer_size + len(header)
+        writer.write(header + payload)
+        record_size = len(header) + len(payload)
+        self._writer_size += record_size
+        self._total_bytes += record_size
+        previous = self._index.pop(content_hash, None)
+        if previous is not None:
+            self._live_bytes -= _RECORD_HEADER.size + previous[2]
+        if flag == _RECORD_DATA:
+            assert self._writer_path is not None
+            self._index[content_hash] = (self._writer_path, payload_offset, len(payload))
+            self._live_bytes += record_size
+
+    @staticmethod
+    def _snapshot_namespace(namespace: dict) -> dict | None:
+        """A shallow copy that tolerates concurrent fills (None = try later)."""
+        for _ in range(4):
+            try:
+                return dict(namespace)
+            except RuntimeError:  # resized mid-copy by a concurrent _memo fill
+                continue
+        return None
+
+    def flush(self) -> int:
+        """Synchronously persist every dirty in-memory namespace.
+
+        A namespace is dirty when its number of memoized entries differs from
+        the last persisted record (derived-state entries are only ever added,
+        never mutated).  Returns the number of namespaces written.  Called
+        periodically by the write-behind flusher and on :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            flushed = 0
+            for content_hash, namespace in list(self._namespaces.items()):
+                if self._flush_entry(content_hash, namespace):
+                    flushed += 1
+            if flushed:
+                self.flushes += 1
+                self.flushed_entries += flushed
+                assert self._writer is not None
+                os.fsync(self._writer.fileno())
+            self._maybe_compact()
+            return flushed
+
+    def _flush_entry(self, content_hash: str, namespace: dict) -> bool:
+        """Append one namespace's record if it is dirty; True if written."""
+        size = len(namespace)
+        if (
+            size == 0
+            or size == self._persisted_sizes.get(content_hash)
+            or content_hash in self._unpicklable
+        ):
+            return False
+        snapshot = self._snapshot_namespace(namespace)
+        if snapshot is None:
+            return False
+        try:
+            payload = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - a foreign unpicklable cache entry
+            self.pickle_errors += 1
+            self._unpicklable.add(content_hash)
+            return False
+        self._append_record(_RECORD_DATA, content_hash, payload)
+        self._persisted_sizes[content_hash] = len(snapshot)
+        return True
+
+    def _schedule_flusher(self) -> None:
+        if self.flush_interval <= 0 or self._closed:
+            return
+        with self._lock:  # check-then-start must be atomic across threads
+            if self._closed:
+                return
+            flusher = self._flusher
+            if flusher is not None and flusher.is_alive():
+                return
+            self._flusher = threading.Thread(
+                target=self._flusher_loop, name="profile-store-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    def _flusher_loop(self) -> None:
+        while not self._closed:
+            self._flusher_wakeup.wait(self.flush_interval)
+            if self._closed:
+                return
+            self.flush()
+
+    # ----------------------------------------------------------------- reading
+    def namespace(self, content_hash: str) -> dict:
+        entry = super().namespace(content_hash)
+        self._schedule_flusher()
+        return entry
+
+    def _load_fallback(self, content_hash: str) -> dict | None:
+        if self._closed:
+            return None
+        location = self._index.get(content_hash)
+        if location is None:
+            return None
+        path, payload_offset, length = location
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(payload_offset)
+                payload = handle.read(length)
+            if len(payload) != length:
+                raise EOFError(f"short read in {path.name}")
+            namespace = pickle.loads(payload)
+            if not isinstance(namespace, dict):
+                raise TypeError("persisted namespace is not a dict")
+        except Exception:  # noqa: BLE001 - a damaged record is a miss, not a crash
+            self.corrupt_records_skipped += 1
+            self._index.pop(content_hash, None)
+            self._live_bytes -= _RECORD_HEADER.size + length
+            return None
+        self.disk_hits += 1
+        self._persisted_sizes[content_hash] = len(namespace)
+        return namespace
+
+    # ------------------------------------------------------------------- tiers
+    def _entry_evicted(self, content_hash: str, namespace: dict) -> None:
+        # Write-behind must not lose warm state: persist the evicted entry
+        # (if dirty) before the memory tier forgets it.
+        if not self._closed:
+            self._flush_entry(content_hash, namespace)
+        self._persisted_sizes.pop(content_hash, None)
+
+    def _invalidate_tier(self, content_hash: str) -> bool:
+        self._persisted_sizes.pop(content_hash, None)
+        self._unpicklable.discard(content_hash)
+        if self._closed or content_hash not in self._index:
+            return False
+        self._append_record(_RECORD_TOMBSTONE, content_hash, b"")
+        self.tombstones += 1
+        return True
+
+    def _clear_tier(self) -> None:
+        self._close_writer()
+        for path in self.directory.glob("segment-*.seg"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._index.clear()
+        self._persisted_sizes.clear()
+        self._unpicklable.clear()
+        self._owned_paths.clear()
+        self._live_bytes = 0
+        self._total_bytes = 0
+        self.disk_hits = 0
+        self.recovered_entries = 0
+
+    # --------------------------------------------------------------- compaction
+    @property
+    def dead_bytes(self) -> int:
+        """On-disk bytes held by superseded records and tombstones."""
+        return max(0, self._total_bytes - self._live_bytes)
+
+    def _maybe_compact(self) -> None:
+        if self._total_bytes and self.dead_bytes > self.compaction_dead_ratio * self._total_bytes:
+            self.compact()
+
+    @staticmethod
+    def _read_payload(path: Path, payload_offset: int, length: int) -> bytes | None:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(payload_offset)
+                payload = handle.read(length)
+        except OSError:
+            return None
+        return payload if len(payload) == length else None
+
+    def compact(self) -> None:
+        """Rewrite the live records into one fresh segment, drop the rest.
+
+        Copies raw payload bytes (no pickle round-trip), fsyncs the new
+        segment, then deletes the retired files — a crash mid-compaction
+        leaves either the old segments or the complete new one.  The bulk of
+        the reading happens *outside* the store lock (a snapshot of the index
+        is taken first, and entries that moved meanwhile are re-read under
+        the lock), so request-path lookups are not stalled for the whole
+        rewrite.
+
+        Only segments this store knows — files indexed at open time or
+        written by this process — are ever unlinked.  A segment some *other*
+        concurrent process (e.g. a forked worker) created after our open is
+        left untouched, so compaction can never destroy a sibling's freshly
+        persisted records.  The converse race (a sibling compacting away a
+        shared segment we still reference) degrades gracefully: the lookup
+        counts as corrupt and the entry is recomputed — warmth is lost,
+        predictions never change.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            snapshot = dict(self._index)
+        # Phase 1 (unlocked): read the live payloads referenced at snapshot time.
+        payloads: dict[str, bytes] = {}
+        unreadable = 0
+        for content_hash, (path, payload_offset, length) in snapshot.items():
+            payload = self._read_payload(path, payload_offset, length)
+            if payload is None:
+                unreadable += 1
+            else:
+                payloads[content_hash] = payload
+        with self._lock:
+            if self._closed:
+                return
+            self.corrupt_records_skipped += unreadable
+            # Phase 2 (locked): catch up with whatever the flusher wrote since
+            # the snapshot, and drop entries invalidated meanwhile.
+            for content_hash, location in self._index.items():
+                if snapshot.get(content_hash) != location:
+                    payload = self._read_payload(*location)
+                    if payload is None:
+                        self.corrupt_records_skipped += 1
+                        payloads.pop(content_hash, None)
+                    else:
+                        payloads[content_hash] = payload
+            # Keys invalidated since the snapshot are gone from the index and
+            # must not be resurrected by compaction.
+            payloads = {
+                content_hash: payload
+                for content_hash, payload in payloads.items()
+                if content_hash in self._index
+            }
+            retired = {path for path, _, _ in self._index.values()} | set(self._owned_paths)
+            if self._writer_path is not None:
+                retired.add(self._writer_path)
+            self._close_writer()
+            self._index.clear()
+            self._live_bytes = 0
+            self._total_bytes = 0
+            for content_hash, payload in payloads.items():
+                self._append_record(_RECORD_DATA, content_hash, payload)
+            if self._writer is not None:
+                os.fsync(self._writer.fileno())
+            current = {self._writer_path} if self._writer_path is not None else set()
+            self._owned_paths = set(current)
+            for path in retired - current:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            self.compactions += 1
+
+    # ---------------------------------------------------------------- lifecycle
+    def _close_writer(self) -> None:
+        if self._writer is not None and self._writer_pid == os.getpid():
+            try:
+                self._writer.close()
+            except OSError:
+                pass
+        self._writer = None
+        self._writer_path = None
+        self._writer_size = 0
+        self._writer_pid = None
+
+    def close(self) -> None:
+        """Flush dirty namespaces, stop the flusher, and detach the disk tier.
+
+        After ``close`` the store keeps working as a plain in-memory LRU (so
+        a still-activated store never breaks the request path), but nothing
+        further is read from or written to the directory.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            flusher = self._flusher
+            self._flusher = None
+        # Stop the background thread before the final flush so the two never
+        # interleave on the writer.
+        self._flusher_wakeup.set()
+        if flusher is not None and flusher is not threading.current_thread():
+            flusher.join(timeout=5.0)
+        with self._lock:
+            self.flush()
+            if self._writer is not None and self._writer_pid == os.getpid():
+                os.fsync(self._writer.fileno())
+            self._close_writer()
+            self._closed = True
+
+    def __enter__(self) -> "PersistentProfileStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __contains__(self, content_hash: str) -> bool:
+        return content_hash in self._namespaces or content_hash in self._index
+
+    # ------------------------------------------------------------------- report
+    @property
+    def disk_entries(self) -> int:
+        """Distinct keys currently indexed on disk."""
+        return len(self._index)
+
+    @property
+    def hit_rate(self) -> float:
+        """Warm fraction of lookups, counting memory *and* disk hits.
+
+        ``hits`` counts memory-tier hits only and ``misses`` counts lookups
+        neither tier could serve, so a lookup served by the disk tier appears
+        exactly once — in ``disk_hits``.
+        """
+        total = self.hits + self.disk_hits + self.misses
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    def stats(self) -> dict[str, object]:
+        report = super().stats()
+        report.update(
+            {
+                "disk_hits": self.disk_hits,
+                "disk_entries": self.disk_entries,
+                "flushes": self.flushes,
+                "flushed_entries": self.flushed_entries,
+                "recovered_entries": self.recovered_entries,
+                "corrupt_records_skipped": self.corrupt_records_skipped,
+                "tombstones": self.tombstones,
+                "compactions": self.compactions,
+                "pickle_errors": self.pickle_errors,
+                "segment_files": len(list(self.directory.glob("segment-*.seg"))),
+                "disk_bytes": self._total_bytes,
+                "dead_bytes": self.dead_bytes,
+                "directory": str(self.directory),
+            }
+        )
+        return report

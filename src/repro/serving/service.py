@@ -13,6 +13,16 @@ mixes customers: each group is annotated with exactly the requester's
 ``customer_id``, so one tenant's local model can never leak into another's
 predictions.
 
+The batching window and batch-size cap can be **fixed** (the defaults) or
+**adaptive**: with an :class:`AdaptiveBatchingConfig`, a bounded AIMD-style
+controller per customer tunes both knobs online from the per-batch latency
+and arrival-rate statistics the service already collects — saturated batches
+grow the window additively to amortise more work per cascade pass, idle
+windows and latency breaches shrink it multiplicatively to protect tail
+latency.  Controller decisions are exposed in :class:`ServiceStats`.
+Adaptivity only changes *when* work is grouped, never *what* is computed, so
+predictions stay bit-identical to direct annotation either way.
+
 Shutdown is graceful: :meth:`shutdown` stops accepting new requests, lets the
 worker drain everything already enqueued, and fails any stragglers with
 :class:`~repro.core.errors.ServingError`.
@@ -21,6 +31,8 @@ worker drain everything already enqueued, and fails any stragglers with
 from __future__ import annotations
 
 import asyncio
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING
@@ -33,12 +45,143 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.core.sigmatyper import SigmaTyper
     from repro.serving.backends import ExecutionBackend
 
-__all__ = ["AnnotationService", "ServiceStats"]
+__all__ = ["AdaptiveBatchingConfig", "AnnotationService", "ServiceStats"]
+
+
+@dataclass
+class AdaptiveBatchingConfig:
+    """Bounds and gains of the per-customer AIMD batching controller.
+
+    The controller follows the classic congestion-control shape: **additive
+    increase** while demand saturates the current batch size (coalescing more
+    per cascade pass raises throughput), **multiplicative decrease** when a
+    batch breaches the latency target or the window expires mostly idle
+    (waiting longer would only add latency).  Both knobs are hard-bounded —
+    the window never leaves ``[min_batch_delay, max_batch_delay]`` and the
+    size cap never leaves ``[1, max_batch_size]`` — so a misbehaving workload
+    can degrade the controller's choices, never the service's limits.
+    """
+
+    #: Hard lower bound on the coalescing window (seconds).
+    min_batch_delay: float = 0.0
+    #: Hard upper bound on the coalescing window (seconds).
+    max_batch_delay: float = 0.05
+    #: Hard upper bound on the per-batch request cap.
+    max_batch_size: int = 128
+    #: Additive window growth per saturated batch (seconds).
+    delay_increase: float = 0.002
+    #: Additive size-cap growth per saturated batch (requests).
+    size_increase: int = 4
+    #: Multiplicative decrease factor for both knobs (0 < backoff < 1).
+    backoff: float = 0.5
+    #: Per-batch wall-clock latency above which the controller backs off.
+    target_batch_seconds: float = 0.5
+    #: Recent arrival timestamps kept per customer for the rate estimate.
+    arrival_window: int = 64
+
+    def validate(self) -> "AdaptiveBatchingConfig":
+        if self.min_batch_delay < 0 or self.max_batch_delay < self.min_batch_delay:
+            raise ConfigurationError(
+                "adaptive batching requires 0 <= min_batch_delay <= max_batch_delay"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError("adaptive max_batch_size must be at least 1")
+        if not 0.0 < self.backoff < 1.0:
+            raise ConfigurationError("adaptive backoff must be in (0, 1)")
+        if self.delay_increase < 0 or self.size_increase < 0:
+            raise ConfigurationError("adaptive increase steps must be non-negative")
+        if self.target_batch_seconds <= 0:
+            raise ConfigurationError("target_batch_seconds must be positive")
+        if self.arrival_window < 2:
+            raise ConfigurationError("arrival_window must be at least 2")
+        return self
+
+
+class _AimdController:
+    """One customer's bounded AIMD state: current window, size cap, history."""
+
+    __slots__ = (
+        "config",
+        "delay",
+        "size",
+        "increases",
+        "decreases",
+        "batches",
+        "arrivals",
+    )
+
+    def __init__(self, config: AdaptiveBatchingConfig, delay: float, size: int) -> None:
+        self.config = config
+        self.delay = min(max(delay, config.min_batch_delay), config.max_batch_delay)
+        self.size = min(max(size, 1), config.max_batch_size)
+        self.increases = 0
+        self.decreases = 0
+        self.batches = 0
+        self.arrivals: deque[float] = deque(maxlen=config.arrival_window)
+
+    def record_arrival(self, now: float) -> None:
+        self.arrivals.append(now)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Requests/second over the recent arrival window (0 when unknown)."""
+        if len(self.arrivals) < 2:
+            return 0.0
+        span = self.arrivals[-1] - self.arrivals[0]
+        return (len(self.arrivals) - 1) / span if span > 0 else 0.0
+
+    def observe(self, batch_size: int, batch_seconds: float) -> None:
+        """Update the knobs from one completed batch (AIMD step).
+
+        *batch_size* is the size of the whole **coalesced** batch the
+        customer's group rode in, not the group alone: the coalesced size is
+        the demand observed during the window, which is the saturation
+        signal.  Comparing the customer's own (smaller) group against its cap
+        would make the increase branch unreachable whenever several tenants
+        share batches — precisely the multi-tenant load adaptivity targets.
+        *batch_seconds* is the group's own annotate latency.
+        """
+        config = self.config
+        self.batches += 1
+        if batch_seconds > config.target_batch_seconds:
+            # Latency breach: cut both knobs multiplicatively.
+            self.size = max(1, int(self.size * config.backoff))
+            self.delay = max(config.min_batch_delay, self.delay * config.backoff)
+            self.decreases += 1
+        elif batch_size >= self.size:
+            # Saturated under the latency target: grow additively to amortise
+            # more requests per cascade pass.
+            self.size = min(config.max_batch_size, self.size + config.size_increase)
+            self.delay = min(config.max_batch_delay, self.delay + config.delay_increase)
+            self.increases += 1
+        elif batch_size <= max(1, self.size // 2) and self.delay > config.min_batch_delay:
+            # The window expired mostly idle: shrink it to cut latency for
+            # sparse traffic.
+            self.delay = max(config.min_batch_delay, self.delay * config.backoff)
+            self.decreases += 1
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable view of the controller's current decisions."""
+        return {
+            "batch_delay": round(self.delay, 6),
+            "batch_size": self.size,
+            "increases": self.increases,
+            "decreases": self.decreases,
+            "batches": self.batches,
+            "arrival_rate_per_s": round(self.arrival_rate, 2),
+        }
 
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters describing the service's batching behaviour."""
+    """Aggregate counters describing the service's batching behaviour.
+
+    Besides the request/batch totals, the stats carry the raw signals the
+    adaptive controller feeds on (per-batch wall-clock seconds) and — when
+    adaptive batching is enabled — the latest per-customer controller
+    decisions under ``controllers`` (window, size cap, increase/decrease
+    counts, observed arrival rate).
+    """
 
     requests_total: int = 0
     batches_total: int = 0
@@ -46,11 +189,28 @@ class ServiceStats:
     errors_total: int = 0
     rejected_total: int = 0
     requests_by_customer: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent inside annotate calls, summed over batches.
+    batch_seconds_total: float = 0.0
+    #: Seconds requests spent queued (enqueue → their group's annotate call),
+    #: summed over requests — the latency cost of coalescing.
+    queue_seconds_total: float = 0.0
+    #: Latest per-customer AIMD controller snapshots (empty when fixed).
+    controllers: dict[str, dict] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
         """Average number of requests coalesced per cascade invocation."""
         return self.requests_total / self.batches_total if self.batches_total else 0.0
+
+    @property
+    def mean_batch_seconds(self) -> float:
+        """Average annotate-call latency per batch."""
+        return self.batch_seconds_total / self.batches_total if self.batches_total else 0.0
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        """Average time one request waited between enqueue and execution."""
+        return self.queue_seconds_total / self.requests_total if self.requests_total else 0.0
 
     def record_batch(self, batch_size: int, customers: dict[str, int]) -> None:
         self.requests_total += batch_size
@@ -71,18 +231,30 @@ class ServiceStats:
             "errors_total": self.errors_total,
             "rejected_total": self.rejected_total,
             "requests_by_customer": dict(self.requests_by_customer),
+            "batch_seconds_total": round(self.batch_seconds_total, 4),
+            "mean_batch_seconds": round(self.mean_batch_seconds, 4),
+            "queue_seconds_total": round(self.queue_seconds_total, 4),
+            "mean_queue_seconds": round(self.mean_queue_seconds, 4),
+            "controllers": {name: dict(state) for name, state in self.controllers.items()},
         }
 
 
 class _Request:
     """One enqueued annotation request and the future its caller awaits."""
 
-    __slots__ = ("table", "customer_id", "future")
+    __slots__ = ("table", "customer_id", "future", "enqueued_at")
 
-    def __init__(self, table: Table, customer_id: str | None, future: asyncio.Future) -> None:
+    def __init__(
+        self,
+        table: Table,
+        customer_id: str | None,
+        future: asyncio.Future,
+        enqueued_at: float,
+    ) -> None:
         self.table = table
         self.customer_id = customer_id
         self.future = future
+        self.enqueued_at = enqueued_at
 
 
 #: Queue sentinel that tells the worker to finish draining and exit.
@@ -112,6 +284,13 @@ class AnnotationService:
         string) used for the ``annotate_corpus`` call of each batch.  Leave
         unset (serial) for typical online micro-batches — the multiprocess
         backend forks a pool per call, which only pays off for large batches.
+    adaptive:
+        ``None``/``False`` (default) keeps the fixed window and size cap.
+        Pass ``True`` (defaults) or an :class:`AdaptiveBatchingConfig` to let
+        a bounded per-customer AIMD controller tune both knobs online from
+        observed per-batch latency and arrival rates; ``max_batch_size`` /
+        ``max_batch_delay`` then seed the controllers' starting point, while
+        the config's bounds cap what the controller may choose.
     """
 
     def __init__(
@@ -120,6 +299,7 @@ class AnnotationService:
         max_batch_size: int = 32,
         max_batch_delay: float = 0.005,
         backend: "ExecutionBackend | str | None" = None,
+        adaptive: "AdaptiveBatchingConfig | bool | None" = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be at least 1")
@@ -129,6 +309,18 @@ class AnnotationService:
         self.max_batch_size = max_batch_size
         self.max_batch_delay = max_batch_delay
         self.backend = backend
+        if adaptive is True:
+            adaptive = AdaptiveBatchingConfig()
+        elif adaptive is False:
+            adaptive = None
+        if adaptive is not None and not isinstance(adaptive, AdaptiveBatchingConfig):
+            raise ConfigurationError(
+                "adaptive must be an AdaptiveBatchingConfig, a bool, or None"
+            )
+        self.adaptive: AdaptiveBatchingConfig | None = (
+            adaptive.validate() if adaptive is not None else None
+        )
+        self._controllers: dict[str, _AimdController] = {}
         self.stats = ServiceStats()
         self._queue: asyncio.Queue | None = None
         self._worker: asyncio.Task | None = None
@@ -183,9 +375,37 @@ class AnnotationService:
         if not self._accepting or self._queue is None:
             self.stats.rejected_total += 1
             raise ServingError("AnnotationService is not accepting requests")
+        now = time.monotonic()
+        if self.adaptive is not None:
+            self._controller(customer_id).record_arrival(now)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Request(table, customer_id, future))
+        await self._queue.put(_Request(table, customer_id, future, now))
         return await future
+
+    # --------------------------------------------------------------- controllers
+    def _controller(self, customer_id: str | None) -> _AimdController:
+        """The AIMD controller of one customer (created on first request)."""
+        assert self.adaptive is not None
+        key = customer_id if customer_id is not None else _GLOBAL
+        controller = self._controllers.get(key)
+        if controller is None:
+            controller = self._controllers[key] = _AimdController(
+                self.adaptive, delay=self.max_batch_delay, size=self.max_batch_size
+            )
+        return controller
+
+    def _batch_knobs(self, first: _Request) -> tuple[float, int]:
+        """The coalescing window and size cap to use for a nascent batch.
+
+        Fixed mode returns the constructor knobs.  Adaptive mode returns the
+        current decision of the *first* request's customer controller — the
+        customer that opened the batch paid the queueing delay, so its
+        latency/throughput trade-off governs how long the batch may wait.
+        """
+        if self.adaptive is None:
+            return self.max_batch_delay, self.max_batch_size
+        controller = self._controller(first.customer_id)
+        return controller.delay, controller.size
 
     # ------------------------------------------------------------------- worker
     async def _worker_loop(self) -> None:
@@ -197,8 +417,9 @@ class AnnotationService:
                 break
             batch = [request]
             stop_after_batch = False
-            deadline = loop.time() + self.max_batch_delay
-            while len(batch) < self.max_batch_size:
+            batch_delay, batch_size_cap = self._batch_knobs(request)
+            deadline = loop.time() + batch_delay
+            while len(batch) < batch_size_cap:
                 timeout = deadline - loop.time()
                 if timeout <= 0:
                     # Window elapsed: still coalesce whatever is already queued.
@@ -237,6 +458,9 @@ class AnnotationService:
                 customer_id=customer_id,
                 backend=self.backend,
             )
+            started = time.monotonic()
+            for request in requests:
+                self.stats.queue_seconds_total += started - request.enqueued_at
             try:
                 predictions = await loop.run_in_executor(None, annotate)
             except Exception as exc:  # noqa: BLE001 - surfaced per request
@@ -247,6 +471,14 @@ class AnnotationService:
                             ServingError(f"annotation failed: {exc}")
                         )
                 continue
+            finally:
+                elapsed = time.monotonic() - started
+                self.stats.batch_seconds_total += elapsed
+                if self.adaptive is not None:
+                    controller = self._controller(customer_id)
+                    controller.observe(len(batch), elapsed)
+                    key = customer_id if customer_id is not None else _GLOBAL
+                    self.stats.controllers[key] = controller.snapshot()
             for request, prediction in zip(requests, predictions):
                 if not request.future.done():
                     request.future.set_result(prediction)
@@ -258,6 +490,7 @@ class AnnotationService:
             "running": self.is_running,
             "max_batch_size": self.max_batch_size,
             "max_batch_delay": self.max_batch_delay,
+            "adaptive": self.adaptive is not None,
             "backend": getattr(self.backend, "name", self.backend) or "serial",
             "stats": self.stats.to_dict(),
         }
