@@ -461,7 +461,9 @@ class SigmaTyper:
 
         When a shared profile store is active (see
         :mod:`repro.serving.profile_store`), its hit/miss/persistence counters
-        are included under ``profile_store`` so one call captures the full
+        — including a persistent store's cross-process ``shared_hits``, the
+        lookups served live from a sibling process's segments — are
+        included under ``profile_store`` so one call captures the full
         serving-side state of the system.
         """
         from repro.core.table import get_active_profile_store

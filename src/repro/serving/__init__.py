@@ -12,7 +12,10 @@ serve production traffic:
   (profiles, value views, feature vectors) off short-lived table objects so a
   long-running service reuses warm entries, and
   :class:`PersistentProfileStore`, which layers an append-only, crash-tolerant
-  disk tier underneath so warm state survives process restarts;
+  disk tier underneath so warm state survives process restarts — and, via
+  per-writer sidecar index journals, lets concurrently *live* processes serve
+  each other's freshly flushed entries (fork-safe by construction:
+  :func:`install_fork_handlers`);
 * :mod:`repro.serving.service` — an :class:`AnnotationService` wrapping a
   :class:`~repro.core.sigmatyper.SigmaTyper` with an asyncio request queue,
   per-customer routing, micro-batching (fixed, or adaptive via
@@ -32,7 +35,11 @@ from repro.serving.backends import (
     resolve_backend,
     shard_items,
 )
-from repro.serving.profile_store import PersistentProfileStore, ProfileStore
+from repro.serving.profile_store import (
+    PersistentProfileStore,
+    ProfileStore,
+    install_fork_handlers,
+)
 from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "shard_items",
     "ProfileStore",
     "PersistentProfileStore",
+    "install_fork_handlers",
     "AdaptiveBatchingConfig",
     "AnnotationService",
     "ServiceStats",

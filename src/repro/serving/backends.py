@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import ConfigurationError, ServingError
+from repro.serving.profile_store import install_fork_handlers
 
 __all__ = [
     "ExecutionBackend",
@@ -197,11 +198,19 @@ class MultiprocessBackend(ExecutionBackend):
     would keep serving the snapshot from its fork, silently ignoring feedback
     applied since), at the cost of pool spin-up per call.  Suit it to large
     bulk jobs; for online micro-batches prefer serial or threaded execution.
+
+    Constructing this backend registers the profile-store at-fork handlers
+    (:func:`repro.serving.profile_store.install_fork_handlers`), so workers
+    forked while a :class:`~repro.serving.profile_store.PersistentProfileStore`
+    is active inherit a *usable* store: a fresh lock (never one left held by
+    the parent's write-behind flusher), no dead flusher thread, and a
+    per-pid segment writer of their own.
     """
 
     name = "multiprocess"
 
     def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
+        install_fork_handlers()
         self.max_workers = int(max_workers) if max_workers is not None else available_workers()
         if self.max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")

@@ -39,7 +39,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.errors import ConfigurationError, ServingError
 from repro.core.prediction import TablePrediction
-from repro.core.table import Table
+from repro.core.table import Table, get_active_profile_store
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.core.sigmatyper import SigmaTyper
@@ -180,7 +180,11 @@ class ServiceStats:
     adaptive controller feeds on (per-batch wall-clock seconds) and — when
     adaptive batching is enabled — the latest per-customer controller
     decisions under ``controllers`` (window, size cap, increase/decrease
-    counts, observed arrival rate).
+    counts, observed arrival rate).  When the active profile store is a
+    :class:`~repro.serving.profile_store.PersistentProfileStore` with live
+    cross-process sharing, ``store_shared_hits`` mirrors its ``shared_hits``
+    counter — lookups this process served from a *sibling process's* freshly
+    flushed segment records.
     """
 
     requests_total: int = 0
@@ -196,6 +200,9 @@ class ServiceStats:
     queue_seconds_total: float = 0.0
     #: Latest per-customer AIMD controller snapshots (empty when fixed).
     controllers: dict[str, dict] = field(default_factory=dict)
+    #: Lookups served from a sibling process's segments (live cross-process
+    #: store sharing); mirrors the active store's ``shared_hits`` counter.
+    store_shared_hits: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -236,6 +243,7 @@ class ServiceStats:
             "queue_seconds_total": round(self.queue_seconds_total, 4),
             "mean_queue_seconds": round(self.mean_queue_seconds, 4),
             "controllers": {name: dict(state) for name, state in self.controllers.items()},
+            "store_shared_hits": self.store_shared_hits,
         }
 
 
@@ -474,6 +482,9 @@ class AnnotationService:
             finally:
                 elapsed = time.monotonic() - started
                 self.stats.batch_seconds_total += elapsed
+                store = get_active_profile_store()
+                if store is not None:
+                    self.stats.store_shared_hits = int(getattr(store, "shared_hits", 0))
                 if self.adaptive is not None:
                     controller = self._controller(customer_id)
                     controller.observe(len(batch), elapsed)
@@ -485,8 +496,13 @@ class AnnotationService:
 
     # ------------------------------------------------------------------- report
     def summary(self) -> dict[str, object]:
-        """Service-level report (running state, batching knobs, stats)."""
-        return {
+        """Service-level report (running state, batching knobs, stats).
+
+        When a shared profile store is active its full counters — including
+        the cross-process ``shared_hits`` of a persistent store with live
+        sharing — are included under ``profile_store``.
+        """
+        report: dict[str, object] = {
             "running": self.is_running,
             "max_batch_size": self.max_batch_size,
             "max_batch_delay": self.max_batch_delay,
@@ -494,3 +510,7 @@ class AnnotationService:
             "backend": getattr(self.backend, "name", self.backend) or "serial",
             "stats": self.stats.to_dict(),
         }
+        store = get_active_profile_store()
+        if store is not None and hasattr(store, "stats"):
+            report["profile_store"] = store.stats()
+        return report
