@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
-"""Fail CI when README or docs link to files that do not exist.
+"""Fail CI when README or docs link to files — or anchors — that do not exist.
 
 Scans the repo's user-facing markdown (README.md, docs/*.md, ROADMAP.md,
-CHANGES.md) for inline links and verifies every *relative* target resolves to
-a real file or directory (anchors and external URLs are ignored; an anchor on
-a relative link is stripped before checking).  Exits non-zero listing every
-broken link so the CI docs job fails loudly instead of shipping dead
-references.
+CHANGES.md) for inline links and verifies:
+
+* every *relative* target resolves to a real file or directory;
+* every ``#anchor`` fragment — same-file (``#section``) or on a relative
+  markdown link (``GUIDE.md#section``) — matches a heading in the target
+  file, using GitHub's slug rules (lowercased, punctuation stripped, spaces
+  to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...).
+
+External URLs are ignored.  Exits non-zero listing every broken link or
+anchor so the CI docs job fails loudly instead of shipping dead references.
 """
 
 from __future__ import annotations
@@ -28,36 +33,94 @@ DOC_FILES = [
 #: Inline markdown links: [text](target). Images share the syntax.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
+#: ATX headings: one to six #, a space, then the title.
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
 
-def check_file(path: Path) -> list[str]:
+#: Code fence delimiters; headings inside fenced blocks are not headings.
+_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def _slugify(title: str, seen: dict) -> str:
+    """GitHub's heading-anchor algorithm (close enough for ASCII docs)."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def markdown_anchors(path: Path) -> set:
+    """All heading anchors a markdown file exposes."""
+    anchors = set()
+    seen: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            anchors.add(_slugify(match.group(2), seen))
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    def anchors_of(markdown_path: Path) -> set:
+        resolved = markdown_path.resolve()
+        if resolved not in anchor_cache:
+            anchor_cache[resolved] = markdown_anchors(resolved)
+        return anchor_cache[resolved]
+
     broken = []
+    in_fence = False
     for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        # Fenced code blocks are examples, not live links — same rule the
+        # heading scanner applies.
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
         for target in _LINK.findall(line):
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            relative = target.split("#", 1)[0]
+            where = f"{path.relative_to(REPO_ROOT)}:{line_number}"
+            if target.startswith("#"):
+                # Same-file anchor.
+                if target[1:] not in anchors_of(path):
+                    broken.append(f"{where}: broken anchor -> {target}")
+                continue
+            relative, _, fragment = target.partition("#")
             if not relative:
                 continue
             resolved = (path.parent / relative).resolve()
             if not resolved.exists():
-                broken.append(f"{path.relative_to(REPO_ROOT)}:{line_number}: broken link -> {target}")
+                broken.append(f"{where}: broken link -> {target}")
+                continue
+            if fragment and resolved.suffix.lower() == ".md":
+                if fragment not in anchors_of(resolved):
+                    broken.append(f"{where}: broken anchor -> {target}")
     return broken
 
 
 def main() -> int:
-    broken: list[str] = []
+    broken = []
     checked = 0
+    anchor_cache: dict = {}
     for name in DOC_FILES:
         path = REPO_ROOT / name
         if not path.exists():
             continue
         checked += 1
-        broken.extend(check_file(path))
+        broken.extend(check_file(path, anchor_cache))
     if broken:
         print("\n".join(broken))
-        print(f"\n{len(broken)} broken link(s) across {checked} file(s).")
+        print(f"\n{len(broken)} broken link(s)/anchor(s) across {checked} file(s).")
         return 1
-    print(f"All relative links resolve across {checked} markdown file(s).")
+    print(f"All relative links and anchors resolve across {checked} markdown file(s).")
     return 0
 
 

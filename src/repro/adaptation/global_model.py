@@ -164,7 +164,9 @@ class GlobalModel:
         profiles/embedding caches stay warm across the whole run.  An optional
         execution ``backend`` ("threaded", "multiprocess", or an
         :class:`~repro.serving.backends.ExecutionBackend`) shards the corpus
-        by table across workers with identical results.
+        by table across workers with identical results; the multiprocess spec
+        may also select the zero-copy shard transport
+        (``"multiprocess:4+shm"``, see :mod:`repro.serving.transport`).
         """
         tables = list(tables)
         if backend is None:

@@ -19,7 +19,7 @@ from repro.dpbd.feedback import ImplicitApproval
 from repro.dpbd.label_model import LabelModel, MajorityVoteLabelModel
 from repro.dpbd.session import AdaptationUpdate
 from repro.embedding_model.classifier import TableEmbeddingClassifier
-from repro.lookup.labeling_functions import LabelingFunctionStore, LFContext
+from repro.lookup.labeling_functions import LabelingFunctionStore
 from repro.adaptation.weights import GlobalLocalWeights, WeightScheduleConfig
 
 __all__ = ["LocalModelConfig", "LocalModel"]

@@ -16,7 +16,7 @@ columns — is defined in :mod:`repro.core.ontology_data` and instantiated via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Iterator, Mapping, Sequence
 

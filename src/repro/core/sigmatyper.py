@@ -210,7 +210,10 @@ class SigmaTyper:
         ``"serial"`` runs in-process, ``"threaded"`` / ``"multiprocess"`` (or
         an :class:`~repro.serving.backends.ExecutionBackend` instance, e.g.
         ``"multiprocess:4"``) fan out; every backend returns predictions
-        identical to the serial path.
+        identical to the serial path.  The multiprocess spec may also name a
+        shard transport — ``"multiprocess:4+shm"`` ships shards as zero-copy
+        shared-memory column blocks instead of pickle (see
+        :mod:`repro.serving.transport`), again with bit-identical results.
         """
         from repro.serving.backends import resolve_backend
 
@@ -464,7 +467,11 @@ class SigmaTyper:
         — including a persistent store's cross-process ``shared_hits``, the
         lookups served live from a sibling process's segments — are
         included under ``profile_store`` so one call captures the full
-        serving-side state of the system.
+        serving-side state of the system.  Likewise, once any multiprocess
+        run shipped shards, the process-wide per-transport accounting
+        (``bytes_shipped``, ``shm_bytes``, ``pickle_fallbacks`` — see
+        :mod:`repro.serving.transport`) is included under
+        ``shard_transport``.
         """
         from repro.core.table import get_active_profile_store
 
@@ -481,4 +488,9 @@ class SigmaTyper:
         store = get_active_profile_store()
         if store is not None and hasattr(store, "stats"):
             report["profile_store"] = store.stats()
+        from repro.serving.transport import transport_stats
+
+        shard_transport = transport_stats()
+        if shard_transport:
+            report["shard_transport"] = shard_transport
         return report

@@ -296,6 +296,34 @@ class Column:
             metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
         )
 
+    @classmethod
+    def from_view(
+        cls,
+        name: str,
+        values: Sequence[object],
+        semantic_type: str | None = None,
+        metadata: dict[str, object] | None = None,
+    ) -> "Column":
+        """Build a column over *values* without copying them into a list.
+
+        The zero-copy seam used by :meth:`Table.from_block`: *values* is kept
+        as-is (typically a lazy
+        :class:`~repro.serving.transport.BlockValues` view decoding cells out
+        of a shared-memory segment on access), bypassing the ``list(...)``
+        materialization of the normal constructor.  The view must be an
+        immutable sequence — in-place mutation plus
+        :meth:`invalidate_cache` is only supported for list-backed columns.
+        """
+        column = object.__new__(cls)
+        column.name = name
+        column.values = values  # type: ignore[assignment] - deliberate view
+        column.semantic_type = semantic_type
+        column.metadata = metadata if metadata is not None else {}
+        column._data_type = None
+        column._derived = {}
+        column._content_hash = None
+        return column
+
 
 class Table:
     """An ordered, rectangular collection of named columns.
@@ -481,6 +509,31 @@ class Table:
             columns,
             name=str(payload.get("name", "")),
             metadata=dict(payload.get("metadata", {})),  # type: ignore[arg-type]
+        )
+
+    @classmethod
+    def from_block(cls, block, table_index: int) -> "Table":
+        """Zero-copy view of one table inside a decoded column block.
+
+        *block* is duck-typed (so the core never imports the serving layer):
+        it must expose ``table_name(i)``, ``table_metadata(i)``, and
+        ``table_columns(i)`` — the latter yielding
+        ``(name, semantic_type, metadata, values)`` per column, where
+        ``values`` is a lazy sequence over the block's buffer.  The shm shard
+        transport (:class:`repro.serving.transport.ColumnBlock`) is the
+        canonical implementation; workers rebuild their shard's tables this
+        way without unpickling a single cell.  The returned table is
+        read-only in the same sense as the view columns it wraps, and must
+        not outlive the block (``block.close()`` invalidates the views).
+        """
+        columns = [
+            Column.from_view(name, values, semantic_type=semantic_type, metadata=metadata)
+            for name, semantic_type, metadata, values in block.table_columns(table_index)
+        ]
+        return cls(
+            columns,
+            name=block.table_name(table_index),
+            metadata=block.table_metadata(table_index),
         )
 
     @classmethod

@@ -26,7 +26,7 @@ experiments can stratify results.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CorpusError
 from repro.core.table import Column, Table

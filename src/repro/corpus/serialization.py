@@ -10,10 +10,9 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
 
 from repro.core.errors import SerializationError
-from repro.core.table import Column, Table
+from repro.core.table import Table
 from repro.corpus.collection import TableCorpus
 
 __all__ = [

@@ -19,7 +19,7 @@ objects so the same evaluation harness can be pointed at any scenario.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.errors import CorpusError
 from repro.core.table import Column, Table

@@ -10,7 +10,7 @@ label, confidence)`` examples ready for finetuning the local model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.errors import ConfigurationError

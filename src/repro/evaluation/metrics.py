@@ -17,7 +17,7 @@ same code evaluates SigmaTyper, the baselines, and any ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.ontology import UNKNOWN_TYPE
 

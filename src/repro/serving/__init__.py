@@ -7,6 +7,11 @@ serve production traffic:
   (``serial``, ``threaded``, ``multiprocess``) that shards a corpus by table
   and fans bulk annotation (or pretraining featurization) out across workers,
   with results guaranteed identical to the serial path;
+* :mod:`repro.serving.transport` — the multiprocess backend's shard
+  :class:`Transport` seam: the ``pickle`` baseline, or zero-copy
+  shared-memory column blocks (``"multiprocess:4+shm"``) that ship tables
+  out and fixed-width prediction records back without serializing either,
+  with transparent pickle fallback and airtight segment lifecycle;
 * :mod:`repro.serving.profile_store` — a bounded, content-hash-keyed LRU
   :class:`ProfileStore` that lifts the per-``Column`` memoized derived state
   (profiles, value views, feature vectors) off short-lived table objects so a
@@ -41,6 +46,16 @@ from repro.serving.profile_store import (
     install_fork_handlers,
 )
 from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
+from repro.serving.transport import (
+    ColumnBlockCodec,
+    PickleTransport,
+    PredictionBlockCodec,
+    ShmTransport,
+    Transport,
+    resolve_transport,
+    reset_transport_stats,
+    transport_stats,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -50,6 +65,14 @@ __all__ = [
     "available_workers",
     "resolve_backend",
     "shard_items",
+    "Transport",
+    "PickleTransport",
+    "ShmTransport",
+    "ColumnBlockCodec",
+    "PredictionBlockCodec",
+    "resolve_transport",
+    "transport_stats",
+    "reset_transport_stats",
     "ProfileStore",
     "PersistentProfileStore",
     "install_fork_handlers",

@@ -13,10 +13,13 @@ makes every backend's output *identical* to the serial path by construction
 The ``multiprocess`` backend prefers the ``fork`` start method: workers
 inherit the (possibly very large) pretrained model through copy-on-write
 memory instead of pickling it, so only the table shards and their predictions
-cross process boundaries.  Without ``fork`` (Windows, macOS ``spawn``) the
-shard function itself is pickled to the workers, which requires it to be a
-picklable callable (bound methods of a picklable model are fine; closures are
-not).
+cross process boundaries.  *How* they cross is the backend's
+:class:`~repro.serving.transport.Transport` seam — the classic pickle
+round-trip, or zero-copy shared-memory column blocks
+(``"multiprocess:4+shm"``); see :mod:`repro.serving.transport`.  Without
+``fork`` (Windows, macOS ``spawn``) the shard function itself is pickled to
+the workers, which requires it to be a picklable callable (bound methods of a
+picklable model are fine; closures are not).
 
 Spec strings, selection guidance, and the parity contract all backends obey
 are documented operator-side in ``docs/SERVING.md`` and design-side in
@@ -156,32 +159,36 @@ class ThreadedBackend(ExecutionBackend):
         return [result for shard in shard_results for result in shard]
 
 
-#: Shard functions handed to forked workers by inheritance (never pickled).
-_INHERITED_FNS: dict[int, ShardFn] = {}
+#: Shard functions + transports handed to forked workers by inheritance
+#: (never pickled).
+_INHERITED_FNS: dict[int, tuple] = {}
 _FN_TOKENS = itertools.count()
 
-#: Shard function installed per worker by the pickling (non-fork) path.
-_PICKLED_FN: ShardFn | None = None
+#: Shard function + transport installed per worker by the pickling
+#: (non-fork) path.
+_PICKLED_FN: tuple | None = None
 
 
-def _run_inherited_shard(token: int, shard: list) -> list:
-    fn = _INHERITED_FNS.get(token)
-    if fn is None:
+def _run_inherited_shard(token: int, payload: tuple) -> tuple:
+    entry = _INHERITED_FNS.get(token)
+    if entry is None:
         raise ServingError(
             "multiprocess worker is missing its inherited shard function; "
             "the fork start method is required for non-picklable callables"
         )
-    return list(fn(shard))
+    fn, transport = entry
+    return transport.run_in_worker(fn, payload)
 
 
-def _init_pickled_worker(fn: ShardFn) -> None:
+def _init_pickled_worker(fn: ShardFn, transport) -> None:
     global _PICKLED_FN
-    _PICKLED_FN = fn
+    _PICKLED_FN = (fn, transport)
 
 
-def _run_pickled_shard(shard: list) -> list:
+def _run_pickled_shard(payload: tuple) -> tuple:
     assert _PICKLED_FN is not None, "worker initializer did not run"
-    return list(_PICKLED_FN(shard))
+    fn, transport = _PICKLED_FN
+    return transport.run_in_worker(fn, payload)
 
 
 class MultiprocessBackend(ExecutionBackend):
@@ -209,7 +216,14 @@ class MultiprocessBackend(ExecutionBackend):
 
     name = "multiprocess"
 
-    def __init__(self, max_workers: int | None = None, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        transport: "object | str | None" = None,
+    ) -> None:
+        from repro.serving.transport import resolve_transport
+
         install_fork_handlers()
         self.max_workers = int(max_workers) if max_workers is not None else available_workers()
         if self.max_workers < 1:
@@ -219,6 +233,18 @@ class MultiprocessBackend(ExecutionBackend):
                 f"start method {start_method!r} not available on this platform"
             )
         self.start_method = start_method
+        #: How shard payloads and results cross the process boundary:
+        #: ``"pickle"`` (default) or ``"shm"`` — see
+        #: :mod:`repro.serving.transport`.  Spec strings select it inline,
+        #: e.g. ``"multiprocess:4+shm"``.
+        self.transport = resolve_transport(transport)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "backend": self.name,
+            "workers": self.max_workers,
+            "transport": self.transport.name,
+        }
 
     def _resolved_start_method(self) -> str:
         if self.start_method is not None:
@@ -236,24 +262,38 @@ class MultiprocessBackend(ExecutionBackend):
             return list(fn(items))
         method = self._resolved_start_method()
         context = multiprocessing.get_context(method)
-        if method == "fork":
-            token = next(_FN_TOKENS)
-            _INHERITED_FNS[token] = fn
-            try:
-                with ProcessPoolExecutor(max_workers=len(shards), mp_context=context) as pool:
-                    shard_results = list(
-                        pool.map(_run_inherited_shard, itertools.repeat(token), shards)
-                    )
-            finally:
-                _INHERITED_FNS.pop(token, None)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=len(shards),
-                mp_context=context,
-                initializer=_init_pickled_worker,
-                initargs=(fn,),
-            ) as pool:
-                shard_results = list(pool.map(_run_pickled_shard, shards))
+        transport = self.transport
+        payloads: list = []
+        try:
+            # Encoding happens inside the try: if shard N's segment creation
+            # fails (e.g. /dev/shm exhaustion), shards 0..N-1 are released.
+            for shard in shards:
+                payloads.append(transport.encode_shard(shard))
+            if method == "fork":
+                token = next(_FN_TOKENS)
+                _INHERITED_FNS[token] = (fn, transport)
+                try:
+                    with ProcessPoolExecutor(max_workers=len(shards), mp_context=context) as pool:
+                        raw_results = list(
+                            pool.map(_run_inherited_shard, itertools.repeat(token), payloads)
+                        )
+                finally:
+                    _INHERITED_FNS.pop(token, None)
+            else:
+                with ProcessPoolExecutor(
+                    max_workers=len(shards),
+                    mp_context=context,
+                    initializer=_init_pickled_worker,
+                    initargs=(fn, transport),
+                ) as pool:
+                    raw_results = list(pool.map(_run_pickled_shard, payloads))
+            shard_results = [transport.decode_results(raw) for raw in raw_results]
+        finally:
+            # Lifecycle backstop: every shard segment (and any result segment
+            # a crashed worker left behind under its deterministic name) is
+            # reclaimed whether the round-trip succeeded or not.
+            for payload in payloads:
+                transport.release(payload)
         return [result for shard in shard_results for result in shard]
 
 
@@ -272,25 +312,36 @@ def resolve_backend(
 
     Accepts an instance (returned unchanged), a spec string — ``"serial"``,
     ``"threaded"``, ``"multiprocess"``, optionally with a worker count as in
-    ``"threaded:4"`` — or ``None``, which resolves to *default* (falling back
-    to a fresh :class:`SerialBackend`).
+    ``"threaded:4"`` and, for the multiprocess backend, a shard transport as
+    in ``"multiprocess:4+shm"`` (``+pickle`` | ``+shm``, see
+    :mod:`repro.serving.transport`) — or ``None``, which resolves to
+    *default* (falling back to a fresh :class:`SerialBackend`).
     """
     if backend is None:
         return default if default is not None else SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
     if isinstance(backend, str):
-        name, _, workers = backend.partition(":")
+        base_spec, _, transport_name = backend.partition("+")
+        name, _, workers = base_spec.partition(":")
         backend_class = _BACKENDS.get(name)
         if backend_class is None:
             raise ConfigurationError(
                 f"unknown execution backend {backend!r}; "
-                f"expected one of {sorted(_BACKENDS)} (optionally 'name:workers')"
+                f"expected one of {sorted(_BACKENDS)} "
+                f"(optionally 'name:workers' / 'multiprocess:workers+transport')"
             )
         try:
             max_workers = int(workers) if workers else None
         except ValueError as exc:
             raise ConfigurationError(f"invalid worker count in backend spec {backend!r}") from exc
+        if transport_name:
+            if backend_class is not MultiprocessBackend:
+                raise ConfigurationError(
+                    f"backend spec {backend!r} names a shard transport, but only the "
+                    "multiprocess backend ships shards across a process boundary"
+                )
+            return MultiprocessBackend(max_workers=max_workers, transport=transport_name)
         return backend_class(max_workers=max_workers)
     raise ConfigurationError(
         f"backend must be an ExecutionBackend, a spec string, or None, got {type(backend).__name__}"

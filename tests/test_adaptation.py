@@ -14,7 +14,6 @@ from repro.adaptation import (
     WeightScheduleConfig,
 )
 from repro.core.errors import ConfigurationError
-from repro.core.table import Column
 from repro.corpus import GitTablesConfig, GitTablesGenerator
 from repro.dpbd import DPBDSession
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.ontology import build_default_ontology
 from repro.core.table import Column, Table
 from repro.embedding_model.features import ColumnFeaturizer
 from repro.embedding_model.step import TableEmbeddingStep

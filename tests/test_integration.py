@@ -16,7 +16,6 @@ from repro.corpus.serialization import corpus_to_json, corpus_from_json, table_f
 from repro.corpus.webtables import WebTablesConfig
 from repro.evaluation import evaluate_annotator, precision_coverage_curve
 from repro.evaluation.harness import PredictionRecord
-from repro.nn import MLPConfig
 
 
 class TestHeuristicsOnlySystem:

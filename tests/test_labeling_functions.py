@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import LabelingFunctionError
-from repro.core.table import Column, Table
+from repro.core.table import Column
 from repro.lookup.labeling_functions import (
     CoOccurrenceLF,
     ExpectationSuiteLF,

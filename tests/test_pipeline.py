@@ -10,7 +10,7 @@ from repro.core.errors import ConfigurationError, PipelineError
 from repro.core.ontology import UNKNOWN_TYPE
 from repro.core.pipeline import CascadeConfig, PipelineStep, TypeDetectionPipeline
 from repro.core.prediction import TypeScore
-from repro.core.table import Column, Table
+from repro.core.table import Table
 
 
 class StubStep(PipelineStep):

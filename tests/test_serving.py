@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.core.errors import ConfigurationError, ServingError
-from repro.core.table import Column, Table, get_active_profile_store
+from repro.core.table import Column, get_active_profile_store
 from repro.serving import (
     AnnotationService,
     MultiprocessBackend,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.core.ontology import UNKNOWN_TYPE
-from repro.corpus import GitTablesConfig, GitTablesGenerator, build_ood_corpus
+from repro.corpus import build_ood_corpus
 from repro.evaluation import evaluate_annotator
 
 

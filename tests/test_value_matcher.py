@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.core.table import Column, Table
+from repro.core.table import Column
 from repro.lookup.knowledge_base import KnowledgeBase
 from repro.lookup.labeling_functions import HeaderMatchLF, LabelingFunctionStore, ValueRangeLF
 from repro.lookup.regex_library import RegexLibrary
