@@ -1,0 +1,573 @@
+"""E14: SLO-aware front end under sustained overload.
+
+The serving front end exists so that overload is a managed state instead of
+an unbounded queue.  This experiment drives the full HTTP edge — admission
+control, bounded pending queues, deadline propagation, and the SLO
+controller stepping the cascade confidence threshold c — at roughly 2× the
+measured serial capacity, and pins four properties:
+
+* **explicit shedding** — excess load is rejected with typed 429s carrying a
+  retry-after hint; nothing queues forever, and every *accepted* request
+  succeeds (zero 5xx/504 among admitted traffic);
+* **bounded tail latency** — the global pending bound is sized to the SLO
+  budget, so an admitted request's queue wait is bounded by construction;
+  on machines with ≥ 4 usable CPUs the accepted-traffic p99 must stay
+  within the budget (the 1-CPU caveat in ``docs/SERVING.md`` applies: on a
+  single core the load generator and the service contend for the same CPU,
+  so latency gates only record);
+* **parity when unloaded** — light traffic through the HTTP edge returns
+  predictions bit-identical to calling ``SigmaTyper.annotate`` directly;
+* **bounded drain** — SIGTERM stops the listener, flushes in-flight work
+  within the drain budget, and leaves no running asyncio tasks behind
+  (leaks are printed with a ``LEAKED`` marker for the CI grep).
+
+Results go to ``BENCH_frontend_slo.json`` at the repo root and
+``benchmarks/results/E14_frontend_slo.txt``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.corpus import GitTablesConfig, GitTablesGenerator
+from repro.evaluation import format_table
+from repro.serving import AnnotationFrontend, AnnotationService, FrontendConfig, SloConfig
+from repro.serving.backends import available_workers
+
+#: Machine-readable E14 results, committed at the repo root alongside the
+#: other BENCH_*.json artifacts so the overload behaviour stays comparable.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_frontend_slo.json"
+
+#: Request tables: enough variety that per-request work is realistic, small
+#: enough that the capacity probe stays cheap.
+LOAD_TABLES = 24
+#: Seconds of sustained overload.
+OVERLOAD_SECONDS = 3.0
+#: Offered load as a multiple of measured serial capacity.
+OVERLOAD_FACTOR = 2.0
+#: Concurrent keep-alive client connections generating the load.
+CLIENT_WORKERS = 12
+#: Seconds SIGTERM may take to drain the edge and the service.
+DRAIN_BUDGET = 2.0
+
+
+@pytest.fixture(scope="module")
+def load_corpus():
+    return GitTablesGenerator(GitTablesConfig(num_tables=LOAD_TABLES, seed=424242)).generate_corpus()
+
+
+def _comparable(prediction_dict: dict) -> dict:
+    """Prediction content without wall-clock timings (bit-exact floats)."""
+    return {key: value for key, value in prediction_dict.items() if key != "step_seconds"}
+
+
+def _percentile(samples: list[float], p: float) -> float:
+    ordered = sorted(samples)
+    return ordered[max(0, math.ceil(p * len(ordered)) - 1)]
+
+
+async def _http_post(host, port, body: bytes, connection=None):
+    """One keep-alive POST /annotate; returns (status, headers, payload, connection)."""
+    if connection is None:
+        connection = await asyncio.open_connection(host, port)
+    reader, writer = connection
+    writer.write(
+        b"POST /annotate HTTP/1.1\r\nHost: bench\r\nContent-Length: "
+        + str(len(body)).encode()
+        + b"\r\n\r\n"
+        + body
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, json.loads(payload) if payload else None, connection
+
+
+async def _offer_load(host, port, bodies: list[bytes], offered_rate: float, duration: float):
+    """Open-loop load: CLIENT_WORKERS connections offering ``offered_rate`` req/s."""
+    loop = asyncio.get_running_loop()
+    stop_at = loop.time() + duration
+    interval = CLIENT_WORKERS / offered_rate
+    results: list[tuple[int | str, float, str | None]] = []
+
+    async def client(worker_index: int) -> None:
+        connection = None
+        request_index = worker_index
+        next_at = loop.time() + worker_index * (interval / CLIENT_WORKERS)
+        while True:
+            now = loop.time()
+            if now >= stop_at:
+                break
+            if next_at > now:
+                await asyncio.sleep(min(next_at, stop_at) - now)
+                if loop.time() >= stop_at:
+                    break
+            body = bodies[request_index % len(bodies)]
+            request_index += CLIENT_WORKERS
+            started = loop.time()
+            try:
+                status, headers, _, connection = await _http_post(
+                    host, port, body, connection=connection
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                connection = None
+                results.append(("transport_error", loop.time() - started, None))
+                continue
+            results.append((status, loop.time() - started, headers.get("retry-after")))
+            next_at += interval
+        if connection is not None:
+            connection[1].close()
+
+    await asyncio.gather(*[client(index) for index in range(CLIENT_WORKERS)])
+    return results
+
+
+def test_frontend_slo_overload(benchmark, sigmatyper, load_corpus, record_result):
+    tables = list(load_corpus)
+
+    # ------------------------------------------------- capacity probe (serial)
+    # Warm model-level caches once, then measure the steady serial rate the
+    # admission knobs are sized against.
+    for table in tables:
+        sigmatyper.annotate(table.copy())
+    started = time.perf_counter()
+    for table in tables:
+        sigmatyper.annotate(table.copy())
+    serial_seconds = time.perf_counter() - started
+    seconds_per_table = serial_seconds / len(tables)
+    capacity_per_second = 1.0 / seconds_per_table
+
+    # The SLO budget is a small multiple of the serial service time; the
+    # global pending bound is sized to half the budget so the worst admitted
+    # request's queue wait stays inside it by construction.
+    latency_budget = max(0.25, 8.0 * seconds_per_table)
+    max_pending = max(4, int(capacity_per_second * latency_budget * 0.5))
+    baseline_c = sigmatyper.confidence_threshold
+
+    bodies = [json.dumps({"table": table.to_dict()}).encode() for table in tables]
+
+    # --------------------------------------------- capacity probe (HTTP path)
+    # The rate the edge can actually sustain is lower than raw ``annotate``
+    # throughput (JSON parse, table revival, socket work, and — on small
+    # machines — the load generator itself competing for CPU).  Admission is
+    # sized against this measured rate, not the serial one, so the overload
+    # phase genuinely overloads.
+    http_capacity = _measure_http_capacity(sigmatyper, bodies, capacity_per_second)
+    tenant_rate = 0.75 * http_capacity
+
+    slo = SloConfig(
+        latency_budget=latency_budget,
+        percentile=0.99,
+        window=64,
+        min_samples=8,
+        cooldown=2.0 * latency_budget,
+        step=0.05,
+        min_confidence_threshold=0.60,
+    )
+    config = FrontendConfig(
+        # The token bucket is the binding admission constraint: it admits a
+        # sustainable fraction of the measured HTTP capacity, and everything
+        # past it is shed.  The pending bounds back it up.
+        tenant_rate=tenant_rate,
+        tenant_burst=16.0,
+        max_pending_total=max_pending,
+        max_pending_per_tenant=max_pending,
+        drain_timeout=DRAIN_BUDGET,
+        # Every request carries a generous default budget: admitted traffic
+        # must finish, far-over-budget stragglers must not hang a client.
+        default_deadline=max(30.0, 40.0 * latency_budget),
+    )
+
+    expected = [
+        json.loads(json.dumps(sigmatyper.annotate(table.copy()).to_dict())) for table in tables
+    ]
+
+    loop = asyncio.new_event_loop()
+    service = AnnotationService(sigmatyper, max_batch_delay=0.0, slo=slo)
+    frontend = AnnotationFrontend(service, config)
+    phases: dict[str, object] = {}
+
+    try:
+        host, port = loop.run_until_complete(_start(frontend))
+
+        # ------------------------------------------ phase 1: unloaded parity
+        unloaded = loop.run_until_complete(_unloaded_pass(host, port, bodies))
+        for (status, payload), reference in zip(unloaded, expected):
+            assert status == 200
+            assert _comparable(payload) == _comparable(reference), (
+                "unloaded HTTP traffic diverged from the serial path"
+            )
+        assert not service.slo.is_degraded
+        phases["unloaded"] = {
+            "requests": len(unloaded),
+            "bit_identical_to_serial": True,
+        }
+
+        # ------------------------------------- phase 2: sustained 2× overload
+        offered_rate = OVERLOAD_FACTOR * http_capacity
+        outcomes = loop.run_until_complete(
+            _offer_load(host, port, bodies, offered_rate, OVERLOAD_SECONDS)
+        )
+        accepted = [(s, latency) for s, latency, _ in outcomes if s == 200]
+        shed = [(s, latency, retry) for s, latency, retry in outcomes if s == 429]
+        other = [s for s, _, _ in outcomes if s not in (200, 429)]
+
+        # Overload correctness asserts everywhere: excess load is shed with
+        # explicit retry-after rejections, and no accepted request fails.
+        assert outcomes, "load generator produced no requests"
+        assert shed, "2x overload produced no shed requests"
+        assert all(retry is not None and float(retry) > 0 for _, _, retry in shed), (
+            "shed responses must carry a positive Retry-After"
+        )
+        assert not other, f"accepted requests failed under overload: statuses {sorted(set(other))}"
+        assert accepted, "overload shed everything; nothing was served"
+        assert frontend.stats.failed == 0
+        assert frontend.stats.shed_total == len(shed)
+        assert service.stats.shed_total == len(shed)
+
+        p99_accepted = _percentile([latency for _, latency in accepted], 0.99)
+        p50_accepted = _percentile([latency for _, latency in accepted], 0.50)
+        slo_snapshot = service.slo.snapshot()
+        phases["overload"] = {
+            "offered_rate_per_second": round(offered_rate, 1),
+            "duration_seconds": OVERLOAD_SECONDS,
+            "requests_offered": len(outcomes),
+            "accepted": len(accepted),
+            "shed": len(shed),
+            "shed_rate_limited": frontend.stats.shed_rate_limited,
+            "shed_queue_full": frontend.stats.shed_queue_full,
+            "p50_accepted_seconds": round(p50_accepted, 4),
+            "p99_accepted_seconds": round(p99_accepted, 4),
+            "latency_budget_seconds": round(latency_budget, 4),
+            "degraded_batches": service.stats.degraded_batches,
+            "slo": slo_snapshot,
+        }
+
+        usable_cpus = available_workers()
+        if usable_cpus >= 4:
+            # With real parallel headroom the load generator does not steal
+            # the service's CPU, so the latency gate arms: the pending bound
+            # plus SLO degradation must keep the accepted p99 inside budget.
+            assert p99_accepted <= latency_budget, (
+                f"accepted p99 {p99_accepted:.3f}s breached the "
+                f"{latency_budget:.3f}s budget with {usable_cpus} CPUs"
+            )
+
+        # -------------------------------- phase 3: recovery back to baseline
+        # Light traffic drains the window; c must recover to the baseline
+        # (or never have left it, if shedding alone held the budget).
+        recovery = loop.run_until_complete(_recovery_pass(host, port, bodies, service))
+        assert sigmatyper.confidence_threshold == pytest.approx(baseline_c), (
+            "confidence threshold did not recover to baseline after the overload drained"
+        )
+        phases["recovery"] = recovery
+
+        # ----------------------- phase 4: cascade degradation under breach
+        # Admission sizing above keeps the queue inside the budget, so the
+        # SLO controller may never need to act.  This probe opens the
+        # admission valves (huge pending bound, tight budget) on a second
+        # front end over the same typer, fires a burst that must breach, and
+        # asserts the controller steps c down, batches run degraded, and c
+        # recovers to the baseline once the burst drains.
+        probe = loop.run_until_complete(
+            _degrade_probe(sigmatyper, bodies, seconds_per_table)
+        )
+        assert probe["degrade_transitions"] >= 1, (
+            "a breaching burst did not trigger cascade degradation"
+        )
+        assert probe["degraded_batches"] >= 1
+        assert probe["recovered"], "c did not recover to baseline after the burst drained"
+        assert sigmatyper.confidence_threshold == pytest.approx(baseline_c)
+        phases["degrade_probe"] = probe
+
+        # A representative online operation for pytest-benchmark: one warm
+        # HTTP round trip on a persistent connection, unloaded.  It runs
+        # against a rate-unlimited front end — the timing loop itself would
+        # otherwise trip the main front end's token bucket, which is tuned
+        # to shed exactly this kind of full-speed closed loop.
+        bench_service = AnnotationService(sigmatyper, max_batch_delay=0.0)
+        bench_frontend = AnnotationFrontend(bench_service, FrontendConfig())
+        bench_host, bench_port = loop.run_until_complete(_start(bench_frontend))
+        state: dict[str, object] = {"connection": None}
+
+        def round_trip():
+            async def call():
+                status, _, _, state["connection"] = await _http_post(
+                    bench_host, bench_port, bodies[0], connection=state["connection"]
+                )
+                assert status == 200
+
+            loop.run_until_complete(call())
+
+        try:
+            benchmark(round_trip)
+        finally:
+            if state["connection"] is not None:
+                state["connection"][1].close()
+            loop.run_until_complete(bench_frontend.shutdown(drain_timeout=DRAIN_BUDGET))
+
+        # ------------------------------------------ phase 5: SIGTERM drain
+        drain = loop.run_until_complete(_sigterm_drain(frontend, host, port, bodies))
+        assert drain["drain_seconds"] <= DRAIN_BUDGET + 0.5, (
+            f"SIGTERM drain took {drain['drain_seconds']:.2f}s "
+            f"(budget {DRAIN_BUDGET:.2f}s)"
+        )
+        if drain["leaked_tasks"]:
+            for name in drain["leaked_tasks"]:
+                print(f"LEAKED asyncio task after drain: {name}")
+        assert not drain["leaked_tasks"], "drain left asyncio tasks running"
+        assert not frontend.is_running and not service.is_running
+        phases["drain"] = drain
+    finally:
+        if frontend.is_running:
+            loop.run_until_complete(frontend.shutdown(drain_timeout=DRAIN_BUDGET))
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.run_until_complete(loop.shutdown_default_executor())
+        loop.close()
+
+    # ------------------------------------------------------------- artifacts
+    usable_cpus = available_workers()
+    overload = phases["overload"]
+    rows = [
+        {
+            "phase": "unloaded",
+            "requests": phases["unloaded"]["requests"],
+            "accepted": phases["unloaded"]["requests"],
+            "shed": 0,
+            "p99_seconds": "-",
+            "note": "bit-identical to serial",
+        },
+        {
+            "phase": f"overload x{OVERLOAD_FACTOR:g}",
+            "requests": overload["requests_offered"],
+            "accepted": overload["accepted"],
+            "shed": overload["shed"],
+            "p99_seconds": overload["p99_accepted_seconds"],
+            "note": (
+                f"budget {overload['latency_budget_seconds']}s, "
+                f"{overload['degraded_batches']} degraded batches"
+            ),
+        },
+        {
+            "phase": "degrade probe",
+            "requests": phases["degrade_probe"]["burst_size"],
+            "accepted": phases["degrade_probe"]["burst_size"],
+            "shed": 0,
+            "p99_seconds": phases["degrade_probe"]["p99_burst_seconds"],
+            "note": (
+                f"budget {phases['degrade_probe']['latency_budget_seconds']}s, "
+                f"c {phases['degrade_probe']['baseline_confidence_threshold']}"
+                f" -> {phases['degrade_probe']['min_confidence_threshold_reached']}"
+                f" -> recovered"
+            ),
+        },
+        {
+            "phase": "drain (SIGTERM)",
+            "requests": "-",
+            "accepted": "-",
+            "shed": "-",
+            "p99_seconds": phases["drain"]["drain_seconds"],
+            "note": f"budget {DRAIN_BUDGET}s, 0 leaked tasks",
+        },
+    ]
+    record_result(
+        "E14_frontend_slo",
+        format_table(
+            rows,
+            title=(
+                f"E14 — SLO-aware front end under sustained overload "
+                f"(capacity {capacity_per_second:.1f} req/s serial, {usable_cpus} usable CPUs)"
+            ),
+        ),
+    )
+    BENCH_JSON_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "E14_frontend_slo",
+                "usable_cpus": usable_cpus,
+                "latency_gate_armed": usable_cpus >= 4,
+                "serial_capacity_per_second": round(capacity_per_second, 1),
+                "serial_seconds_per_table": round(seconds_per_table, 5),
+                "http_capacity_per_second": round(http_capacity, 1),
+                "tenant_rate_per_second": round(tenant_rate, 1),
+                "max_pending_total": max_pending,
+                "baseline_confidence_threshold": baseline_c,
+                "phases": phases,
+                "frontend_stats": frontend.stats.to_dict(),
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def _measure_http_capacity(sigmatyper, bodies, serial_capacity: float) -> float:
+    """Closed-loop rate through an unlimited front end (requests/second)."""
+
+    async def probe() -> float:
+        service = AnnotationService(sigmatyper, max_batch_delay=0.0)
+        frontend = AnnotationFrontend(service, FrontendConfig())
+        try:
+            await frontend.start()
+            host, port = frontend.address
+            # Warm-up, then measure a short closed-loop run with pacing far
+            # above anything the workers can achieve.
+            await _offer_load(host, port, bodies, 10.0 * serial_capacity, 0.5)
+            started = asyncio.get_running_loop().time()
+            outcomes = await _offer_load(host, port, bodies, 10.0 * serial_capacity, 1.5)
+            elapsed = asyncio.get_running_loop().time() - started
+            assert all(status == 200 for status, _, _ in outcomes)
+            return len(outcomes) / elapsed
+        finally:
+            await frontend.shutdown(drain_timeout=DRAIN_BUDGET)
+
+    return asyncio.run(probe())
+
+
+async def _start(frontend: AnnotationFrontend):
+    await frontend.start()
+    return frontend.address
+
+
+async def _unloaded_pass(host, port, bodies):
+    connection = None
+    results = []
+    for body in bodies:
+        status, _, payload, connection = await _http_post(host, port, body, connection=connection)
+        results.append((status, payload))
+    connection[1].close()
+    return results
+
+
+async def _recovery_pass(host, port, bodies, service):
+    """Trickle light traffic until the SLO controller reports recovery."""
+    connection = None
+    sent = 0
+    deadline = asyncio.get_running_loop().time() + 30.0
+    while service.slo.is_degraded and asyncio.get_running_loop().time() < deadline:
+        status, _, _, connection = await _http_post(
+            host, port, bodies[sent % len(bodies)], connection=connection
+        )
+        assert status == 200
+        sent += 1
+        await asyncio.sleep(0.01)
+    if connection is not None:
+        connection[1].close()
+    return {
+        "trickle_requests": sent,
+        "recovered": not service.slo.is_degraded,
+        "transitions": service.slo.snapshot()["transitions"],
+    }
+
+
+async def _degrade_probe(sigmatyper, bodies, seconds_per_table: float):
+    """Force an SLO breach and observe c step down, then recover."""
+    budget = max(0.1, 4.0 * seconds_per_table)
+    # Enough simultaneous admitted requests that the tail's queue wait alone
+    # is several budgets deep — the breach is structural, not a timing race.
+    burst_size = max(64, int(math.ceil(4.0 * budget / seconds_per_table)))
+    slo = SloConfig(
+        latency_budget=budget,
+        percentile=0.99,
+        window=32,
+        min_samples=8,
+        cooldown=0.1,
+        step=0.05,
+        min_confidence_threshold=0.60,
+    )
+    service = AnnotationService(sigmatyper, max_batch_delay=0.0, slo=slo)
+    frontend = AnnotationFrontend(
+        service,
+        FrontendConfig(max_pending_total=4096, max_pending_per_tenant=4096),
+    )
+    baseline = sigmatyper.confidence_threshold
+    min_reached = baseline
+    host, port = None, None
+    try:
+        await frontend.start()
+        host, port = frontend.address
+        loop = asyncio.get_running_loop()
+
+        async def one(index: int) -> float:
+            started = loop.time()
+            status, _, _, connection = await _http_post(host, port, bodies[index % len(bodies)])
+            connection[1].close()
+            assert status == 200
+            return loop.time() - started
+
+        latencies = await asyncio.gather(*[one(index) for index in range(burst_size)])
+        min_reached = min(entry["to"] for entry in service.slo.journal) if service.slo.journal else baseline
+
+        # Trickle until the controller walks c back up to the baseline.
+        trickled = 0
+        deadline = loop.time() + 30.0
+        while service.slo.is_degraded and loop.time() < deadline:
+            status, _, _, connection = await _http_post(
+                host, port, bodies[trickled % len(bodies)]
+            )
+            connection[1].close()
+            assert status == 200
+            trickled += 1
+            await asyncio.sleep(0.005)
+
+        snapshot = service.slo.snapshot()
+        return {
+            "burst_size": burst_size,
+            "latency_budget_seconds": round(budget, 4),
+            "p99_burst_seconds": round(_percentile(list(latencies), 0.99), 4),
+            "baseline_confidence_threshold": baseline,
+            "min_confidence_threshold_reached": min_reached,
+            "degrade_transitions": snapshot["degrade_steps"],
+            "recover_transitions": snapshot["recover_steps"],
+            "degraded_batches": service.stats.degraded_batches,
+            "trickle_requests": trickled,
+            "recovered": not service.slo.is_degraded,
+            "transitions": snapshot["transitions"],
+        }
+    finally:
+        await frontend.shutdown(drain_timeout=DRAIN_BUDGET)
+
+
+async def _sigterm_drain(frontend: AnnotationFrontend, host, port, bodies):
+    frontend.install_signal_handlers()
+
+    async def in_flight():
+        try:
+            return await _http_post(host, port, bodies[0])
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            return None
+
+    request = asyncio.ensure_future(in_flight())
+    await asyncio.sleep(0.01)
+    os.kill(os.getpid(), signal.SIGTERM)
+    await frontend.wait_drained(timeout=DRAIN_BUDGET + 5.0)
+    request.cancel()
+    await asyncio.gather(request, return_exceptions=True)
+    # Give the (now finished) drain task a loop iteration to finalize.
+    await asyncio.sleep(0.05)
+    leaked = [
+        task.get_name()
+        for task in asyncio.all_tasks()
+        if task is not asyncio.current_task() and not task.done()
+    ]
+    return {
+        "drain_seconds": round(frontend.last_drain_seconds, 4),
+        "drain_budget_seconds": DRAIN_BUDGET,
+        "leaked_tasks": leaked,
+    }

@@ -36,12 +36,16 @@ from repro.corpus.gittables import GitTablesConfig, GitTablesGenerator
 from repro.corpus.webtables import WebTablesConfig, WebTablesGenerator
 from repro.serving import (
     AdaptiveBatchingConfig,
+    AnnotationFrontend,
     AnnotationService,
     ExecutionBackend,
+    FrontendConfig,
     MultiprocessBackend,
     PersistentProfileStore,
     ProfileStore,
     SerialBackend,
+    SloConfig,
+    SloController,
     ThreadedBackend,
 )
 
@@ -73,6 +77,10 @@ __all__ = [
     # serving
     "AnnotationService",
     "AdaptiveBatchingConfig",
+    "AnnotationFrontend",
+    "FrontendConfig",
+    "SloConfig",
+    "SloController",
     "ProfileStore",
     "PersistentProfileStore",
     "ExecutionBackend",

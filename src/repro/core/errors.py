@@ -62,3 +62,36 @@ class SerializationError(ReproError):
 
 class ServingError(ReproError):
     """Raised by the serving layer (backends, profile store, async service)."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's latency budget expires before it completes.
+
+    The request was *accepted* but could not be served in time: it either
+    aged out while queued (the worker discards it without running the
+    cascade) or the client stopped waiting.  Distinct from
+    :class:`OverloadedError`, which refuses work up front.
+    """
+
+
+class OverloadedError(ServingError):
+    """Raised when admission control sheds a request instead of queueing it.
+
+    Shedding is an explicit, immediate refusal — the alternative is an
+    unbounded queue whose every occupant eventually misses its deadline.
+    :attr:`retry_after` tells the client how many seconds to back off before
+    retrying (mapped to HTTP 429 + ``Retry-After`` by the front end).
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        self.retry_after = max(0.0, float(retry_after))
+        super().__init__(message)
+
+
+class ShutdownError(ServingError):
+    """Raised for requests hard-cancelled by a shutdown drain deadline.
+
+    A bounded drain (``shutdown(drain_timeout=...)``) that expires fails
+    every still-pending request with this error instead of leaving its
+    caller awaiting a future that will never resolve.
+    """

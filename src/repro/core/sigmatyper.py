@@ -171,6 +171,30 @@ class SigmaTyper:
         if self._exhaustive is not None:
             self._exhaustive.config.tau = tau
 
+    @property
+    def confidence_threshold(self) -> float:
+        """The current cascade confidence threshold c."""
+        return self.global_model.pipeline.config.confidence_threshold
+
+    def set_confidence_threshold(self, confidence_threshold: float) -> None:
+        """Override the cascade confidence threshold c on every pipeline.
+
+        Unlike structural pipeline changes this needs no cache invalidation:
+        every cache in the system (profile store entries, feature vectors,
+        embedder phrases) is keyed by column content and model state, while c
+        only gates *which steps run* for a column.  Lowering c makes the
+        cascade shallower (faster, the E10 trade-off); it is the control
+        variable the serving layer's SLO controller steps under load (see
+        :mod:`repro.serving.slo`).  The derived exhaustive pipeline runs all
+        steps regardless, but its config is kept in sync so ``summary()`` and
+        rebuilds never observe a stale threshold.
+        """
+        if not 0.0 <= confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence_threshold must be in [0, 1]")
+        self.global_model.pipeline.config.confidence_threshold = confidence_threshold
+        if self._exhaustive is not None:
+            self._exhaustive.config.confidence_threshold = confidence_threshold
+
     def annotate(self, table: Table, customer_id: str | None = None) -> TablePrediction:
         """Predict the semantic types of every column in *table*.
 

@@ -24,7 +24,22 @@ serve production traffic:
 * :mod:`repro.serving.service` — an :class:`AnnotationService` wrapping a
   :class:`~repro.core.sigmatyper.SigmaTyper` with an asyncio request queue,
   per-customer routing, micro-batching (fixed, or adaptive via
-  :class:`AdaptiveBatchingConfig`), and graceful shutdown.
+  :class:`AdaptiveBatchingConfig`), per-request deadlines, and graceful
+  (optionally bounded) shutdown;
+* :mod:`repro.serving.slo` — an :class:`SloController` that treats the
+  cascade confidence threshold c as a control variable, stepping it down
+  when the observed tail latency breaches its budget (shallower, faster
+  cascade — the E10 trade-off) and recovering it as load drains, with every
+  transition journaled;
+* :mod:`repro.serving.frontend` — :class:`AnnotationFrontend`, the
+  SLO-aware network edge: a dependency-free asyncio HTTP server with
+  per-tenant token-bucket admission control, bounded pending queues, load
+  shedding with explicit retry-after, deadline propagation, and graceful
+  SIGTERM drain.
+
+The parity contract below has one explicit, opt-in exception: an attached
+:class:`SloController` *degrades* predictions (shallower cascade) while an
+overload lasts, and journals every window in which it did.
 
 The package-wide contract is **parity**: every backend, cache tier, and
 batching mode returns predictions bit-identical to the plain serial path
@@ -40,12 +55,19 @@ from repro.serving.backends import (
     resolve_backend,
     shard_items,
 )
+from repro.serving.frontend import (
+    AnnotationFrontend,
+    FrontendConfig,
+    FrontendStats,
+    TokenBucket,
+)
 from repro.serving.profile_store import (
     PersistentProfileStore,
     ProfileStore,
     install_fork_handlers,
 )
 from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
+from repro.serving.slo import SloConfig, SloController
 from repro.serving.transport import (
     ColumnBlockCodec,
     PickleTransport,
@@ -79,4 +101,10 @@ __all__ = [
     "AdaptiveBatchingConfig",
     "AnnotationService",
     "ServiceStats",
+    "SloConfig",
+    "SloController",
+    "AnnotationFrontend",
+    "FrontendConfig",
+    "FrontendStats",
+    "TokenBucket",
 ]

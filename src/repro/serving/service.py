@@ -23,9 +23,30 @@ latency.  Controller decisions are exposed in :class:`ServiceStats`.
 Adaptivity only changes *when* work is grouped, never *what* is computed, so
 predictions stay bit-identical to direct annotation either way.
 
+Requests may carry a **deadline**: ``annotate(table, deadline=0.25)`` gives
+the request a 250 ms end-to-end budget.  A request that ages out while queued
+is discarded by the worker *before* its group's cascade runs (expired work is
+never computed), and the caller gets a typed
+:class:`~repro.core.errors.DeadlineExceededError` the moment the budget
+expires — not when the worker happens to reach it.  Client-side cancellation
+(``asyncio.CancelledError`` in the awaiting task) is equally safe at any
+point: the worker skips requests whose future is already settled, never
+counts skipped work into batching statistics or AIMD latency observations,
+and a group whose every request was cancelled is not annotated at all.
+
 Shutdown is graceful: :meth:`shutdown` stops accepting new requests, lets the
 worker drain everything already enqueued, and fails any stragglers with
-:class:`~repro.core.errors.ServingError`.
+:class:`~repro.core.errors.ServingError`.  Pass ``drain_timeout`` to bound
+the drain — past the deadline the worker is hard-cancelled and every still-
+pending request fails with a typed
+:class:`~repro.core.errors.ShutdownError` instead of hanging forever.
+
+With an :class:`~repro.serving.slo.SloController` attached, the service also
+feeds every served request's queue+batch latency to the controller, which
+steps the cascade confidence threshold c down when the observed tail
+breaches its budget (shallower, faster cascade) and recovers it as the queue
+drains — see :mod:`repro.serving.slo` for the semantics and the explicit
+parity caveat.
 """
 
 from __future__ import annotations
@@ -37,9 +58,15 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING
 
-from repro.core.errors import ConfigurationError, ServingError
+from repro.core.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServingError,
+    ShutdownError,
+)
 from repro.core.prediction import TablePrediction
 from repro.core.table import Table, get_active_profile_store
+from repro.serving.slo import SloConfig, SloController
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.core.sigmatyper import SigmaTyper
@@ -192,6 +219,21 @@ class ServiceStats:
     largest_batch: int = 0
     errors_total: int = 0
     rejected_total: int = 0
+    #: Requests refused up front by admission control (front-end shedding);
+    #: the front end mirrors its shed counters here so one summary() shows
+    #: overload being managed.
+    shed_total: int = 0
+    #: Requests whose deadline expired before their group ran (discarded
+    #: unexecuted) or whose caller stopped waiting past the budget.
+    timed_out_total: int = 0
+    #: Requests whose caller cancelled while they were queued or in flight.
+    cancelled_total: int = 0
+    #: Batches annotated while the SLO controller held the cascade threshold
+    #: c below its baseline — the windows in which results may be shallower.
+    degraded_batches: int = 0
+    #: Current cascade confidence threshold c (None until a batch ran with an
+    #: SLO controller attached; mirrors the controller's actuator state).
+    confidence_threshold: float | None = None
     requests_by_customer: dict[str, int] = field(default_factory=dict)
     #: Wall-clock seconds spent inside annotate calls, summed over batches.
     batch_seconds_total: float = 0.0
@@ -237,6 +279,11 @@ class ServiceStats:
             "largest_batch": self.largest_batch,
             "errors_total": self.errors_total,
             "rejected_total": self.rejected_total,
+            "shed_total": self.shed_total,
+            "timed_out_total": self.timed_out_total,
+            "cancelled_total": self.cancelled_total,
+            "degraded_batches": self.degraded_batches,
+            "confidence_threshold": self.confidence_threshold,
             "requests_by_customer": dict(self.requests_by_customer),
             "batch_seconds_total": round(self.batch_seconds_total, 4),
             "mean_batch_seconds": round(self.mean_batch_seconds, 4),
@@ -250,7 +297,7 @@ class ServiceStats:
 class _Request:
     """One enqueued annotation request and the future its caller awaits."""
 
-    __slots__ = ("table", "customer_id", "future", "enqueued_at")
+    __slots__ = ("table", "customer_id", "future", "enqueued_at", "deadline_at")
 
     def __init__(
         self,
@@ -258,11 +305,14 @@ class _Request:
         customer_id: str | None,
         future: asyncio.Future,
         enqueued_at: float,
+        deadline_at: float | None = None,
     ) -> None:
         self.table = table
         self.customer_id = customer_id
         self.future = future
         self.enqueued_at = enqueued_at
+        #: Absolute ``time.monotonic()`` deadline, or None for no budget.
+        self.deadline_at = deadline_at
 
 
 #: Queue sentinel that tells the worker to finish draining and exit.
@@ -299,6 +349,14 @@ class AnnotationService:
         observed per-batch latency and arrival rates; ``max_batch_size`` /
         ``max_batch_delay`` then seed the controllers' starting point, while
         the config's bounds cap what the controller may choose.
+    slo:
+        Optional SLO control of the cascade confidence threshold c: pass an
+        :class:`~repro.serving.slo.SloController` (or a
+        :class:`~repro.serving.slo.SloConfig`, from which one is built around
+        *typer*) and the service feeds it every served request's queue+batch
+        latency; the controller steps c down when the observed tail breaches
+        its budget and recovers it as load drains.  Degradation changes
+        predictions (shallower cascade) — see :mod:`repro.serving.slo`.
     """
 
     def __init__(
@@ -308,6 +366,7 @@ class AnnotationService:
         max_batch_delay: float = 0.005,
         backend: "ExecutionBackend | str | None" = None,
         adaptive: "AdaptiveBatchingConfig | bool | None" = None,
+        slo: "SloController | SloConfig | None" = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be at least 1")
@@ -328,6 +387,11 @@ class AnnotationService:
         self.adaptive: AdaptiveBatchingConfig | None = (
             adaptive.validate() if adaptive is not None else None
         )
+        if isinstance(slo, SloConfig):
+            slo = SloController(typer, slo)
+        if slo is not None and not isinstance(slo, SloController):
+            raise ConfigurationError("slo must be an SloController, an SloConfig, or None")
+        self.slo: SloController | None = slo
         self._controllers: dict[str, _AimdController] = {}
         self.stats = ServiceStats()
         self._queue: asyncio.Queue | None = None
@@ -349,25 +413,52 @@ class AnnotationService:
         self._worker = asyncio.get_running_loop().create_task(self._worker_loop())
         return self
 
-    async def shutdown(self) -> None:
-        """Stop accepting requests, drain everything enqueued, stop the worker."""
+    async def shutdown(self, drain_timeout: float | None = None) -> None:
+        """Stop accepting requests, drain everything enqueued, stop the worker.
+
+        With ``drain_timeout=None`` (the default) the drain is unbounded: the
+        worker finishes every batch already enqueued, however long that
+        takes.  With a timeout, the drain is given that many seconds and then
+        **hard-cancelled**: the worker task is cancelled (an in-flight
+        cascade finishes on its executor thread but its results are
+        dropped), and every request still pending — in flight or queued —
+        fails with a typed :class:`ShutdownError` instead of hanging on a
+        future nobody will resolve.  Either way the call returns with the
+        worker stopped and the queue empty; the persistent store is
+        untouched (it only ever gains entries, so dropping results cannot
+        leave it inconsistent).
+        """
         if self._worker is None:
             return
+        if drain_timeout is not None and drain_timeout < 0:
+            raise ConfigurationError("drain_timeout must be non-negative")
         self._accepting = False
         assert self._queue is not None
         await self._queue.put(_STOP)
         try:
-            await self._worker
+            if drain_timeout is None:
+                await self._worker
+            else:
+                try:
+                    # wait_for cancels the worker on timeout and awaits its
+                    # cancellation handler (_process_batch fails the in-flight
+                    # group's futures with ShutdownError before re-raising).
+                    await asyncio.wait_for(self._worker, drain_timeout)
+                except asyncio.TimeoutError:
+                    pass
         finally:
             self._worker = None
             # Anything that raced past the accepting flag after the sentinel
-            # was enqueued can no longer be served.
+            # was enqueued — or was abandoned by a hard-cancelled drain — can
+            # no longer be served.
             while not self._queue.empty():
                 leftover = self._queue.get_nowait()
                 if leftover is _STOP:
                     continue
                 if not leftover.future.done():
-                    leftover.future.set_exception(ServingError("AnnotationService shut down"))
+                    leftover.future.set_exception(
+                        ShutdownError("AnnotationService shut down before serving this request")
+                    )
                 self.stats.rejected_total += 1
             self._queue = None
 
@@ -378,17 +469,43 @@ class AnnotationService:
         await self.shutdown()
 
     # ----------------------------------------------------------------- requests
-    async def annotate(self, table: Table, customer_id: str | None = None) -> TablePrediction:
-        """Annotate one table; identical to ``SigmaTyper.annotate`` per request."""
+    async def annotate(
+        self,
+        table: Table,
+        customer_id: str | None = None,
+        deadline: float | None = None,
+    ) -> TablePrediction:
+        """Annotate one table; identical to ``SigmaTyper.annotate`` per request.
+
+        *deadline* is the request's end-to-end latency budget in seconds
+        (``None`` = unbounded, the default).  When the budget expires the
+        caller gets a :class:`DeadlineExceededError` immediately and the
+        worker discards the request before (or without) running its cascade;
+        a result is never silently computed past its deadline.
+        """
         if not self._accepting or self._queue is None:
             self.stats.rejected_total += 1
             raise ServingError("AnnotationService is not accepting requests")
+        if deadline is not None and deadline < 0:
+            raise ConfigurationError("deadline must be non-negative")
         now = time.monotonic()
+        deadline_at = now + deadline if deadline is not None else None
         if self.adaptive is not None:
             self._controller(customer_id).record_arrival(now)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Request(table, customer_id, future, now))
-        return await future
+        await self._queue.put(_Request(table, customer_id, future, now, deadline_at))
+        if deadline_at is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, max(0.0, deadline_at - time.monotonic()))
+        except asyncio.TimeoutError:
+            # wait_for already cancelled the future, so the worker will skip
+            # the request when it reaches it (counted there as cancelled, not
+            # here — this is the one place the timeout is accounted).
+            self.stats.timed_out_total += 1
+            raise DeadlineExceededError(
+                f"request exceeded its {deadline:.3f}s latency budget"
+            ) from None
 
     # --------------------------------------------------------------- controllers
     def _controller(self, customer_id: str | None) -> _AimdController:
@@ -448,8 +565,38 @@ class AnnotationService:
             if stop_after_batch:
                 break
 
+    def _discard_settled(self, requests: list[_Request], now: float) -> list[_Request]:
+        """Drop requests that can no longer be served, settling their futures.
+
+        A request whose future is already done was cancelled (or timed out)
+        client-side; one whose deadline has passed is failed with a typed
+        :class:`DeadlineExceededError` *without* running the cascade.  Either
+        way the request never reaches annotate, never contributes queue time,
+        and never feeds the AIMD or SLO controllers — cancellations cannot
+        skew latency observations.
+        """
+        live: list[_Request] = []
+        for request in requests:
+            if request.future.done():
+                # Count client-side timeouts where they were raised (annotate);
+                # everything else settled early is a genuine cancellation.
+                if request.deadline_at is None or now < request.deadline_at:
+                    self.stats.cancelled_total += 1
+                continue
+            if request.deadline_at is not None and now >= request.deadline_at:
+                request.future.set_exception(
+                    DeadlineExceededError("request expired while queued")
+                )
+                self.stats.timed_out_total += 1
+                continue
+            live.append(request)
+        return live
+
     async def _process_batch(self, batch: list[_Request]) -> None:
         loop = asyncio.get_running_loop()
+        batch = self._discard_settled(batch, time.monotonic())
+        if not batch:
+            return
         groups: dict[str | None, list[_Request]] = {}
         for request in batch:
             groups.setdefault(request.customer_id, []).append(request)
@@ -459,6 +606,11 @@ class AnnotationService:
              for customer_id, requests in groups.items()},
         )
         for customer_id, requests in groups.items():
+            # Re-check right before dispatch: earlier groups' annotate calls
+            # consumed wall-clock this group's stragglers may not have had.
+            requests = self._discard_settled(requests, time.monotonic())
+            if not requests:
+                continue
             tables = [request.table for request in requests]
             annotate = partial(
                 self.typer.annotate_corpus,
@@ -466,11 +618,24 @@ class AnnotationService:
                 customer_id=customer_id,
                 backend=self.backend,
             )
+            degraded = self.slo is not None and self.slo.is_degraded
             started = time.monotonic()
             for request in requests:
                 self.stats.queue_seconds_total += started - request.enqueued_at
             try:
                 predictions = await loop.run_in_executor(None, annotate)
+            except asyncio.CancelledError:
+                # Hard-cancelled mid-flight (bounded shutdown drain): fail the
+                # group's callers with a typed error instead of leaving them
+                # awaiting futures nobody will resolve.  The executor thread
+                # finishes its cascade in the background; its result is
+                # dropped, which is safe — the store only ever gains entries.
+                for request in requests:
+                    if not request.future.done():
+                        request.future.set_exception(
+                            ShutdownError("request cancelled by shutdown drain deadline")
+                        )
+                raise
             except Exception as exc:  # noqa: BLE001 - surfaced per request
                 self.stats.errors_total += len(requests)
                 for request in requests:
@@ -482,6 +647,8 @@ class AnnotationService:
             finally:
                 elapsed = time.monotonic() - started
                 self.stats.batch_seconds_total += elapsed
+                if degraded:
+                    self.stats.degraded_batches += 1
                 store = get_active_profile_store()
                 if store is not None:
                     self.stats.store_shared_hits = int(getattr(store, "shared_hits", 0))
@@ -490,6 +657,11 @@ class AnnotationService:
                     controller.observe(len(batch), elapsed)
                     key = customer_id if customer_id is not None else _GLOBAL
                     self.stats.controllers[key] = controller.snapshot()
+                if self.slo is not None:
+                    for request in requests:
+                        self.slo.observe((started - request.enqueued_at) + elapsed)
+                    self.slo.maybe_adjust()
+                    self.stats.confidence_threshold = self.slo.current
             for request, prediction in zip(requests, predictions):
                 if not request.future.done():
                     request.future.set_result(prediction)
@@ -510,6 +682,8 @@ class AnnotationService:
             "backend": getattr(self.backend, "name", self.backend) or "serial",
             "stats": self.stats.to_dict(),
         }
+        if self.slo is not None:
+            report["slo"] = self.slo.snapshot()
         store = get_active_profile_store()
         if store is not None and hasattr(store, "stats"):
             report["profile_store"] = store.stats()

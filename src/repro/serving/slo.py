@@ -1,0 +1,211 @@
+"""SLO controller: the cascade confidence threshold c as a control variable.
+
+E10 measures the trade-off this module exploits: the confidence-gated
+cascade spans roughly 2k columns/s (exhaustive) to 29k columns/s (c = 0.70)
+at small accuracy deltas, because a lower c lets cheap steps satisfy more
+columns before the expensive learned step runs.  Under overload that
+trade-off is exactly what an operator wants made automatically: serve
+*slightly shallower* answers fast instead of deep answers late (or not at
+all).
+
+:class:`SloController` closes the loop.  The annotation service feeds it one
+end-to-end latency observation per served request (queue wait + batch
+annotate time); when the observed tail latency breaches the configured
+budget the controller steps c down toward a hard floor, and when the tail
+recovers well below the budget it steps c back up toward the baseline it
+started from.  Every transition is journaled with the evidence that caused
+it, so "the service degraded between 14:02 and 14:05" is an auditable fact,
+not an inference from throughput graphs.
+
+Degradation deliberately breaks the serving layer's bit-parity contract —
+that is the point, and why it lives behind this explicit opt-in controller
+(see docs/ARCHITECTURE.md): unloaded traffic never degrades (c sits at the
+baseline, predictions bit-identical to the serial path), and the journal
+records every window in which results may differ.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["SloConfig", "SloController"]
+
+
+class _CascadeControl(Protocol):  # pragma: no cover - typing only
+    """What the controller needs from a SigmaTyper: get/set the threshold c."""
+
+    @property
+    def confidence_threshold(self) -> float: ...
+
+    def set_confidence_threshold(self, confidence_threshold: float) -> None: ...
+
+
+@dataclass
+class SloConfig:
+    """Budget, sensing window, and actuation bounds of the SLO controller."""
+
+    #: End-to-end latency budget (seconds) for one request: queue wait plus
+    #: its group's annotate call.  The controller defends this at the tail.
+    latency_budget: float = 0.5
+    #: Tail percentile the budget applies to (0.99 = p99).
+    percentile: float = 0.99
+    #: Recent request latencies the percentile is computed over.
+    window: int = 128
+    #: Observations required since the last adjustment before acting again —
+    #: the controller never reacts to a tail it has not re-measured.
+    min_samples: int = 16
+    #: Seconds between adjustments (with ``min_samples``, damps oscillation).
+    cooldown: float = 0.25
+    #: c decrement per degrade step / increment per recover step.
+    step: float = 0.05
+    #: Hard floor for c: the cascade never gets shallower than this.
+    min_confidence_threshold: float = 0.60
+    #: Recover only when the tail is comfortably under budget (hysteresis):
+    #: observed percentile < recover_ratio * latency_budget.
+    recover_ratio: float = 0.6
+    #: Journal entries kept (oldest dropped first).
+    journal_limit: int = 256
+
+    def validate(self) -> "SloConfig":
+        if self.latency_budget <= 0:
+            raise ConfigurationError("latency_budget must be positive")
+        if not 0.0 < self.percentile <= 1.0:
+            raise ConfigurationError("percentile must be in (0, 1]")
+        if self.window < 2 or self.min_samples < 1:
+            raise ConfigurationError("window must be >= 2 and min_samples >= 1")
+        if self.min_samples > self.window:
+            raise ConfigurationError("min_samples cannot exceed window")
+        if self.cooldown < 0:
+            raise ConfigurationError("cooldown must be non-negative")
+        if self.step <= 0:
+            raise ConfigurationError("step must be positive")
+        if not 0.0 <= self.min_confidence_threshold <= 1.0:
+            raise ConfigurationError("min_confidence_threshold must be in [0, 1]")
+        if not 0.0 < self.recover_ratio < 1.0:
+            raise ConfigurationError("recover_ratio must be in (0, 1)")
+        if self.journal_limit < 1:
+            raise ConfigurationError("journal_limit must be at least 1")
+        return self
+
+
+class SloController:
+    """Steps the cascade threshold c down under load and back up as it drains.
+
+    The controller is deliberately slow and bounded: it acts at most once per
+    ``cooldown`` seconds, only after ``min_samples`` fresh observations, by a
+    fixed ``step``, and never outside ``[min_confidence_threshold,
+    baseline]``.  The baseline is the typer's threshold at construction time
+    — full recovery restores exactly the configuration the operator deployed.
+    """
+
+    def __init__(self, typer: _CascadeControl, config: SloConfig | None = None) -> None:
+        self.config = (config or SloConfig()).validate()
+        self.typer = typer
+        #: The operator-deployed c the controller recovers toward.
+        self.baseline = float(typer.confidence_threshold)
+        if self.baseline < self.config.min_confidence_threshold:
+            raise ConfigurationError(
+                "the typer's confidence threshold is already below "
+                "min_confidence_threshold — nothing to degrade to"
+            )
+        self._latencies: deque[float] = deque(maxlen=self.config.window)
+        self._since_adjust = 0
+        self._last_adjust = -math.inf
+        self._started = time.monotonic()
+        self.degrade_steps = 0
+        self.recover_steps = 0
+        self.journal: deque[dict] = deque(maxlen=self.config.journal_limit)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def current(self) -> float:
+        """The cascade's current confidence threshold c."""
+        return float(self.typer.confidence_threshold)
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether c currently sits below the deployed baseline."""
+        return self.current < self.baseline - 1e-12
+
+    def observed_percentile(self) -> float | None:
+        """The configured percentile over the latency window (None if empty)."""
+        if not self._latencies:
+            return None
+        ordered = sorted(self._latencies)
+        rank = max(0, math.ceil(self.config.percentile * len(ordered)) - 1)
+        return ordered[rank]
+
+    # ---------------------------------------------------------------- control
+    def observe(self, latency_seconds: float) -> None:
+        """Record one served request's end-to-end latency."""
+        self._latencies.append(latency_seconds)
+        self._since_adjust += 1
+
+    def maybe_adjust(self, now: float | None = None) -> str | None:
+        """Apply at most one control step; returns "degrade", "recover", or None.
+
+        *now* (monotonic seconds) is injectable for tests; production callers
+        leave it unset.
+        """
+        config = self.config
+        if self._since_adjust < config.min_samples:
+            return None
+        if now is None:
+            now = time.monotonic()
+        if now - self._last_adjust < config.cooldown:
+            return None
+        observed = self.observed_percentile()
+        if observed is None:
+            return None
+        current = self.current
+        if observed > config.latency_budget and current > config.min_confidence_threshold:
+            target = max(config.min_confidence_threshold, current - config.step)
+            self._transition("degrade", current, target, observed, now)
+            self.degrade_steps += 1
+            return "degrade"
+        if observed < config.recover_ratio * config.latency_budget and current < self.baseline:
+            target = min(self.baseline, current + config.step)
+            self._transition("recover", current, target, observed, now)
+            self.recover_steps += 1
+            return "recover"
+        return None
+
+    def _transition(
+        self, action: str, from_c: float, to_c: float, observed: float, now: float
+    ) -> None:
+        self.typer.set_confidence_threshold(to_c)
+        self._last_adjust = now
+        self._since_adjust = 0
+        self.journal.append(
+            {
+                "action": action,
+                "from": round(from_c, 4),
+                "to": round(to_c, 4),
+                "observed_percentile_seconds": round(observed, 4),
+                "latency_budget_seconds": self.config.latency_budget,
+                "at_seconds": round(now - self._started, 3),
+            }
+        )
+
+    # ----------------------------------------------------------------- report
+    def snapshot(self) -> dict[str, object]:
+        """JSON-serialisable controller state for stats and benchmarks."""
+        observed = self.observed_percentile()
+        return {
+            "confidence_threshold": round(self.current, 4),
+            "baseline": round(self.baseline, 4),
+            "degraded": self.is_degraded,
+            "latency_budget_seconds": self.config.latency_budget,
+            "observed_percentile_seconds": (
+                round(observed, 4) if observed is not None else None
+            ),
+            "degrade_steps": self.degrade_steps,
+            "recover_steps": self.recover_steps,
+            "transitions": [dict(entry) for entry in self.journal],
+        }
