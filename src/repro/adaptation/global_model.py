@@ -155,7 +155,9 @@ class GlobalModel:
         """Run the shared cascade on one table."""
         return self.pipeline.annotate(table)
 
-    def annotate_many(self, tables: Sequence[Table], backend=None) -> list[TablePrediction]:
+    def annotate_many(
+        self, tables: Sequence[Table], backend=None, columnar: bool | None = None
+    ) -> list[TablePrediction]:
         """Run the shared cascade over a corpus of tables.
 
         Each table still goes through the confidence-gated cascade, but every
@@ -167,13 +169,31 @@ class GlobalModel:
         by table across workers with identical results; the multiprocess spec
         may also select the zero-copy shard transport
         (``"multiprocess:4+shm"``, see :mod:`repro.serving.transport`).
-        """
-        tables = list(tables)
-        if backend is None:
-            return self.pipeline.annotate_many(tables)
-        from repro.serving.backends import resolve_backend
 
-        return resolve_backend(backend).run(self.pipeline.annotate_many, tables)
+        ``columnar`` opts the serial/threaded paths into the block-native
+        kernels by converting each table via :meth:`Table.to_block` first
+        (``None`` follows :func:`repro.core.colblock.kernels_enabled`).
+        Multiprocess workers already profile straight off their received
+        shard segments, so no conversion is needed there.
+        """
+        from repro.core import colblock
+
+        tables = list(tables)
+        use_columnar = columnar if columnar is not None else colblock.kernels_enabled()
+        if backend is None:
+            if use_columnar and colblock.kernels_enabled():
+                tables = [table.to_block() for table in tables]
+            return self.pipeline.annotate_many(tables)
+        from repro.serving.backends import MultiprocessBackend, resolve_backend
+
+        execution = resolve_backend(backend)
+        if (
+            use_columnar
+            and colblock.kernels_enabled()
+            and not isinstance(execution, MultiprocessBackend)
+        ):
+            tables = [table.to_block() for table in tables]
+        return execution.run(self.pipeline.annotate_many, tables)
 
     @property
     def classifier(self) -> TableEmbeddingClassifier | None:

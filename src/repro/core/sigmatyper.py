@@ -27,6 +27,7 @@ import numpy as np
 from repro.adaptation.customer import CustomerContext
 from repro.adaptation.global_model import GlobalModel, GlobalModelConfig
 from repro.adaptation.local_model import LocalModelConfig
+from repro.core import colblock
 from repro.core.aggregation import calibrate_tau
 from repro.core.errors import ConfigurationError, PipelineError
 from repro.core.ontology import TypeOntology, UNKNOWN_TYPE
@@ -220,6 +221,7 @@ class SigmaTyper:
         tables: Iterable[Table],
         customer_id: str | None = None,
         backend: "ExecutionBackend | str | None" = None,
+        columnar: bool | None = None,
     ) -> list[TablePrediction]:
         """Bulk-annotate many tables (a :class:`TableCorpus` or any iterable).
 
@@ -238,11 +240,27 @@ class SigmaTyper:
         shard transport — ``"multiprocess:4+shm"`` ships shards as zero-copy
         shared-memory column blocks instead of pickle (see
         :mod:`repro.serving.transport`), again with bit-identical results.
+
+        ``columnar`` controls the block-native kernel path
+        (:mod:`repro.core.colblock`): ``None`` (default) enables it whenever
+        kernels are enabled process-wide, ``False`` forces the per-value
+        Python path.  For in-process backends the tables are converted via
+        :meth:`~repro.core.table.Table.to_block` so profiling and
+        featurization run vectorized; multiprocess workers already receive
+        kernel-ready views straight from the shm transport.  Predictions are
+        bit-identical either way.
         """
-        from repro.serving.backends import resolve_backend
+        from repro.serving.backends import MultiprocessBackend, resolve_backend
 
         tables = list(tables)
         execution = resolve_backend(backend)
+        use_columnar = columnar if columnar is not None else colblock.kernels_enabled()
+        if (
+            use_columnar
+            and colblock.kernels_enabled()
+            and not isinstance(execution, MultiprocessBackend)
+        ):
+            tables = [table.to_block() for table in tables]
         if customer_id is None:
             return execution.run(self.global_model.pipeline.annotate_many, tables)
         context = self.customer(customer_id)
@@ -496,6 +514,13 @@ class SigmaTyper:
         (``bytes_shipped``, ``shm_bytes``, ``pickle_fallbacks`` — see
         :mod:`repro.serving.transport`) is included under
         ``shard_transport``.
+
+        Two always-present operator keys round out the report:
+        ``columnar_kernels`` (block-native kernel hit/fallback counters —
+        :func:`repro.core.colblock.kernel_stats`) and ``timings`` (per-stage
+        exclusive wall-clock for profile / featurize / classify / match /
+        lookup — :func:`repro.core.timings.stage_timings`), so E10/E15 can
+        attribute speedups instead of reporting one opaque col/s number.
         """
         from repro.core.table import get_active_profile_store
 
@@ -517,4 +542,8 @@ class SigmaTyper:
         shard_transport = transport_stats()
         if shard_transport:
             report["shard_transport"] = shard_transport
+        from repro.core.timings import stage_timings
+
+        report["columnar_kernels"] = colblock.kernel_stats()
+        report["timings"] = stage_timings()
         return report

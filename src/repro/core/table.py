@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro.core import colblock
 from repro.core.datatypes import DataType, coerce_numeric, infer_column_type, is_null
 from repro.core.errors import ColumnNotFoundError, TableError
 
@@ -85,6 +86,11 @@ class Column:
     #: (keyed by :meth:`content_hash`) instead of on the column.
     _derived: dict = field(default_factory=dict, init=False, repr=False, compare=False)
     _content_hash: str | None = field(default=None, init=False, repr=False, compare=False)
+    #: Columnar kernel view over the block layout (``repro.core.colblock``).
+    #: ``None`` until resolved; ``_view_checked`` records that resolution ran
+    #: so columns without a usable view don't retry on every access.
+    _block_view: object = field(default=None, init=False, repr=False, compare=False)
+    _view_checked: bool = field(default=False, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.values = list(self.values)
@@ -95,11 +101,46 @@ class Column:
     def __iter__(self) -> Iterator[object]:
         return iter(self.values)
 
+    def _kernel_view(self):
+        """The column's block-layout kernel view, or ``None``.
+
+        Views arrive one of two ways: attached explicitly by
+        :meth:`Table.to_block` / :meth:`from_view`, or duck-typed off the
+        values sequence (``values.kernel_view()`` — the shm transport's
+        ``BlockValues`` provides it, so multiprocess workers profile straight
+        off the received segment).  Resolution runs once per column; a
+        ``None`` result is remembered.
+        """
+        if not colblock.kernels_enabled():
+            return None
+        if self._block_view is None and not self._view_checked:
+            self._view_checked = True
+            maker = getattr(self.values, "kernel_view", None)
+            if maker is not None:
+                self._block_view = maker()
+        return self._block_view
+
+    def __getstate__(self) -> dict:
+        # Kernel views are derived numpy state: dropping them keeps pickles
+        # (and the transport's bytes accounting) exactly as small as before,
+        # and the receiving process re-resolves views on demand.
+        state = dict(self.__dict__)
+        state["_block_view"] = None
+        state["_view_checked"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def data_type(self) -> DataType:
         """Structural type of the column, inferred once and cached."""
         if self._data_type is None:
-            self._data_type = infer_column_type(self.values)
+            view = self._kernel_view()
+            if view is not None:
+                self._data_type = colblock.kernel_data_type(view)
+            if self._data_type is None:
+                self._data_type = infer_column_type(self.values)
         return self._data_type
 
     def content_hash(self) -> str:
@@ -151,6 +192,8 @@ class Column:
         """
         self._data_type = None
         self._derived.clear()
+        self._block_view = None
+        self._view_checked = False
         store = _ACTIVE_PROFILE_STORE
         if store is not None and self._content_hash is not None:
             store.invalidate(self._content_hash)
@@ -178,26 +221,63 @@ class Column:
 
     def non_null_values(self) -> list[object]:
         """Values that are not recognised as missing (cached; do not mutate)."""
-        return self._memo(
-            "non_null", lambda: [value for value in self.values if not is_null(value)]
-        )
+
+        def compute() -> list[object]:
+            view = self._kernel_view()
+            if view is not None:
+                indices = colblock.kernel_non_null_indices(view)
+                if indices is not None:
+                    values = self.values
+                    return [values[i] for i in indices]
+            return [value for value in self.values if not is_null(value)]
+
+        return self._memo("non_null", compute)
 
     def null_fraction(self) -> float:
         """Fraction of cells that are missing; 0.0 for an empty column."""
         if not self.values:
             return 0.0
+        view = self._kernel_view()
+        if view is not None:
+            # Memoized: callers probe this per neighbor (table context), so
+            # the kernel op must not re-run — and re-count — on every call.
+            def compute() -> float | None:
+                count = colblock.kernel_non_null_count(view)
+                if count is None:
+                    return None
+                return (len(self.values) - count) / len(self.values)
+
+            fraction = self._memo("kernel_null_fraction", compute)
+            if fraction is not None:
+                return fraction
         nulls = len(self.values) - len(self.non_null_values())
         return nulls / len(self.values)
 
     def text_values(self) -> list[str]:
         """Non-null values rendered as stripped strings (cached; do not mutate)."""
-        return self._memo(
-            "text", lambda: [str(value).strip() for value in self.non_null_values()]
-        )
+
+        def compute() -> list[str]:
+            view = self._kernel_view()
+            if view is not None:
+                texts = colblock.kernel_text_values(view)
+                if texts is not None:
+                    return texts
+            return [str(value).strip() for value in self.non_null_values()]
+
+        return self._memo("text", compute)
 
     def numeric_values(self) -> list[float]:
         """Non-null values parsed as numbers (non-numeric cells dropped)."""
-        return self._memo("numeric", lambda: coerce_numeric(self.non_null_values()))
+
+        def compute() -> list[float]:
+            view = self._kernel_view()
+            if view is not None:
+                numbers = colblock.kernel_numeric_values(view)
+                if numbers is not None:
+                    return numbers
+            return coerce_numeric(self.non_null_values())
+
+        return self._memo("numeric", compute)
 
     def unique_values(self) -> list[str]:
         """Distinct non-null string values, in first-seen order."""
@@ -205,6 +285,14 @@ class Column:
 
     def unique_fraction(self) -> float:
         """Ratio of distinct values to non-null values (0.0 when empty)."""
+        view = self._kernel_view()
+        if view is not None:
+            fraction = self._memo(
+                "kernel_unique_fraction",
+                lambda: colblock.kernel_unique_fraction(view),
+            )
+            if fraction is not None:
+                return fraction
         non_null = self.text_values()
         if not non_null:
             return 0.0
@@ -214,7 +302,12 @@ class Column:
         """Occurrence counts of the non-null string values (cached; do not mutate)."""
 
         def compute() -> dict[str, int]:
-            counts: dict[str, int] = {}
+            view = self._kernel_view()
+            if view is not None:
+                counts = colblock.kernel_value_counts(view)
+                if counts is not None:
+                    return counts
+            counts = {}
             for value in self.text_values():
                 counts[value] = counts.get(value, 0) + 1
             return counts
@@ -236,6 +329,12 @@ class Column:
         """
 
         def compute() -> list[object]:
+            view = self._kernel_view()
+            if view is not None:
+                indices = colblock.kernel_sample_indices(view, k, seed)
+                if indices is not None:
+                    values = self.values
+                    return [values[i] for i in indices]
             non_null = self.non_null_values()
             if len(non_null) <= k:
                 return list(non_null)
@@ -303,6 +402,7 @@ class Column:
         values: Sequence[object],
         semantic_type: str | None = None,
         metadata: dict[str, object] | None = None,
+        block_view: object = None,
     ) -> "Column":
         """Build a column over *values* without copying them into a list.
 
@@ -322,6 +422,10 @@ class Column:
         column._data_type = None
         column._derived = {}
         column._content_hash = None
+        # An explicit kernel view wins; otherwise resolution stays pending so
+        # `_kernel_view` can duck-type one off the values sequence.
+        column._block_view = block_view
+        column._view_checked = block_view is not None
         return column
 
 
@@ -349,6 +453,19 @@ class Table:
         self.name = name
         self.columns: list[Column] = columns
         self.metadata: dict[str, object] = dict(metadata or {})
+        # Cached result of to_block(), keyed by the identity of the column
+        # list it was built from (see to_block).
+        self._block_twin: "Table | None" = None
+        self._block_twin_key: tuple | None = None
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_block_twin"] = None
+        state["_block_twin_key"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------ shape
     @property
@@ -430,6 +547,8 @@ class Table:
                 f"to a table with {self.num_rows} rows"
             )
         self.columns.append(column)
+        self._block_twin = None
+        self._block_twin_key = None
 
     def drop_column(self, key: int | str) -> "Table":
         """Return a new table without the addressed column."""
@@ -535,6 +654,53 @@ class Table:
             name=block.table_name(table_index),
             metadata=block.table_metadata(table_index),
         )
+
+    def to_block(self) -> "Table":
+        """Columnar twin of this table: same cell values, kernel views attached.
+
+        The serial-path adapter of the block-native kernels: each column's
+        values are encoded once into the typed tag/offset/blob layout
+        (:func:`repro.core.colblock.view_from_values`) and a new
+        :class:`Column` is built over the *same* values list with the view
+        attached, so profiling and featurization run vectorized while every
+        per-value fallback still sees the original Python objects.  Columns
+        whose cells fall outside the block vocabulary keep the Python path
+        (counted in ``kernel_stats()["encode_fallbacks"]``).
+
+        The twin is cached per column-list identity; :meth:`add_column`
+        invalidates it.  Twins share values and metadata with the source —
+        mutate-and-invalidate workflows should drop the twin and re-convert.
+        When kernels are disabled the table itself is returned unchanged.
+        """
+        if not colblock.kernels_enabled():
+            return self
+        # Tables whose columns already resolve views (e.g. built by
+        # :meth:`from_block` over a transport segment) are block-native
+        # as-is — re-encoding them would only copy buffers.
+        resolved = [column._kernel_view() for column in self.columns]
+        if all(view is not None for view in resolved):
+            return self
+        key = tuple(id(column) for column in self.columns)
+        if self._block_twin is not None and self._block_twin_key == key:
+            return self._block_twin
+        columns = []
+        for column, existing in zip(self.columns, resolved):
+            view = existing if existing is not None else colblock.view_from_values(column.values)
+            if view is None:
+                colblock.record_encode_fallback()
+            columns.append(
+                Column.from_view(
+                    column.name,
+                    column.values,
+                    semantic_type=column.semantic_type,
+                    metadata=column.metadata,
+                    block_view=view,
+                )
+            )
+        twin = Table(columns, name=self.name, metadata=self.metadata)
+        self._block_twin = twin
+        self._block_twin_key = key
+        return twin
 
     @classmethod
     def from_columns_dict(

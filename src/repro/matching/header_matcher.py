@@ -29,6 +29,7 @@ from repro.core.ontology import DataKind, SemanticType, TypeOntology, UNKNOWN_TY
 from repro.core.pipeline import PipelineStep
 from repro.core.prediction import TypeScore
 from repro.core.table import Column, Table
+from repro.core.timings import stage
 from repro.matching.embeddings import SubwordEmbedder
 from repro.matching.fuzzy import combined_similarity, normalize_header, tokenize_header
 
@@ -321,30 +322,36 @@ class HeaderMatcher(PipelineStep):
     # ------------------------------------------------------------- prediction
     def predict_column(self, column: Column, table: Table | None = None) -> list[TypeScore]:
         """Rank candidate types for one column based on its header alone."""
-        header = normalize_header(column.name)
-        if not header:
-            return []
-        cache_key = (header, column.data_type if self.config.filter_by_data_kind else None)
-        cached = self._cache.get(cache_key)
-        if cached is not None:
-            return list(cached)
-        best = dict(self._channel_scores(header))
+        with stage("match"):
+            header = normalize_header(column.name)
+            if not header:
+                return []
+            cache_key = (
+                header, column.data_type if self.config.filter_by_data_kind else None
+            )
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
+            best = dict(self._channel_scores(header))
 
-        if self.config.filter_by_data_kind and best:
-            best = self._filter_by_kind(column, best)
+            if self.config.filter_by_data_kind and best:
+                best = self._filter_by_kind(column, best)
 
-        scores = [TypeScore(confidence=c, type_name=t) for t, c in best.items()]
-        scores.sort(key=lambda s: (-s.confidence, s.type_name))
-        result = scores[: self.config.top_k]
-        self._cache[cache_key] = result
-        return list(result)
+            scores = [TypeScore(confidence=c, type_name=t) for t, c in best.items()]
+            scores.sort(key=lambda s: (-s.confidence, s.type_name))
+            result = scores[: self.config.top_k]
+            self._cache[cache_key] = result
+            return list(result)
 
     def predict_columns(
         self, table: Table, column_indices: Sequence[int] | None = None
     ) -> dict[int, list[TypeScore]]:
         """Predict candidates for the addressed columns of *table*."""
-        indices = range(table.num_columns) if column_indices is None else column_indices
-        return {index: self.predict_column(table.columns[index], table) for index in indices}
+        with stage("match"):
+            indices = range(table.num_columns) if column_indices is None else column_indices
+            return {
+                index: self.predict_column(table.columns[index], table) for index in indices
+            }
 
     # ----------------------------------------------------------------- helpers
     def _channel_scores(self, header: str) -> dict[str, float]:

@@ -15,8 +15,10 @@ import statistics as stats
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core import colblock
 from repro.core.datatypes import DataType
 from repro.core.table import Column
+from repro.core.timings import stage
 
 __all__ = ["ColumnStatistics", "profile_column", "character_template"]
 
@@ -155,10 +157,18 @@ def profile_column(column: Column, max_frequent: int = 10, max_templates: int = 
     :class:`ColumnStatistics` object.  Mutating ``column.values`` requires an
     explicit :meth:`~repro.core.table.Column.invalidate_cache` to refresh it.
     """
-    return column._memo(
-        ("profile", max_frequent, max_templates),
-        lambda: _compute_profile(column, max_frequent, max_templates),
-    )
+    def compute() -> ColumnStatistics:
+        with stage("profile"):
+            view = column._kernel_view()
+            if view is not None:
+                profile = colblock.kernel_profile(
+                    view, column.name, column.data_type, max_frequent, max_templates
+                )
+                if profile is not None:
+                    return profile
+            return _compute_profile(column, max_frequent, max_templates)
+
+    return column._memo(("profile", max_frequent, max_templates), compute)
 
 
 def _compute_profile(column: Column, max_frequent: int, max_templates: int) -> ColumnStatistics:

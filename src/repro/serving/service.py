@@ -64,6 +64,7 @@ from repro.core.errors import (
     ServingError,
     ShutdownError,
 )
+from repro.core import colblock
 from repro.core.prediction import TablePrediction
 from repro.core.table import Table, get_active_profile_store
 from repro.serving.slo import SloConfig, SloController
@@ -245,6 +246,12 @@ class ServiceStats:
     #: Lookups served from a sibling process's segments (live cross-process
     #: store sharing); mirrors the active store's ``shared_hits`` counter.
     store_shared_hits: int = 0
+    #: Columnar-kernel operations served vectorized in this process; mirrors
+    #: :func:`repro.core.colblock.kernel_stats` (``kernel_hits``).
+    kernel_hits: int = 0
+    #: Columnar-kernel operations that fell back to the per-value Python
+    #: path (bigint/mixed/non-ASCII cells, or kernels disabled mid-run).
+    kernel_fallbacks: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -291,6 +298,8 @@ class ServiceStats:
             "mean_queue_seconds": round(self.mean_queue_seconds, 4),
             "controllers": {name: dict(state) for name, state in self.controllers.items()},
             "store_shared_hits": self.store_shared_hits,
+            "kernel_hits": self.kernel_hits,
+            "kernel_fallbacks": self.kernel_fallbacks,
         }
 
 
@@ -652,6 +661,9 @@ class AnnotationService:
                 store = get_active_profile_store()
                 if store is not None:
                     self.stats.store_shared_hits = int(getattr(store, "shared_hits", 0))
+                kernel_counters = colblock.kernel_stats()
+                self.stats.kernel_hits = int(kernel_counters["kernel_hits"])
+                self.stats.kernel_fallbacks = int(kernel_counters["kernel_fallbacks"])
                 if self.adaptive is not None:
                     controller = self._controller(customer_id)
                     controller.observe(len(batch), elapsed)

@@ -54,6 +54,19 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Callable
 
+# Scalar/text cell tags are canonical in repro.core.colblock — the columnar
+# kernels interpret the same buffers this codec writes, so sharing the
+# constants means the wire format and the kernels can never drift apart.
+from repro.core.colblock import (
+    TAG_BIGINT as _T_BIGINT,
+    TAG_F64 as _T_F64,
+    TAG_FALSE as _T_FALSE,
+    TAG_I64 as _T_I64,
+    TAG_NONE as _T_NONE,
+    TAG_STR as _T_STR,
+    TAG_TRUE as _T_TRUE,
+    view_from_block_buffers,
+)
 from repro.core.errors import ConfigurationError, ServingError
 from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
 from repro.core.table import Table
@@ -95,13 +108,9 @@ class UnsupportedPayloadError(ServingError):
 # exact type name.  Anything else raises ``UnsupportedPayloadError`` and the
 # transport falls back to pickle for the whole shard.
 
-_T_NONE = 0
-_T_STR = 1
-_T_I64 = 2
-_T_BIGINT = 3
-_T_F64 = 4
-_T_TRUE = 5
-_T_FALSE = 6
+# _T_NONE.._T_FALSE are imported from repro.core.colblock above.
+# _T_LIST/_T_DICT only ever appear in metadata payloads (cell values holding
+# containers are rejected into the pickle fallback), so they stay local.
 _T_LIST = 7
 _T_DICT = 8
 
@@ -280,7 +289,15 @@ class BlockValues(Sequence):
     must never outlive the segment backing it.
     """
 
-    __slots__ = ("_block", "_count", "_tags_off", "_offsets_off", "_blob_off", "_cache")
+    __slots__ = (
+        "_block",
+        "_count",
+        "_tags_off",
+        "_offsets_off",
+        "_blob_off",
+        "_cache",
+        "_kview",
+    )
 
     def __init__(self, block: "ColumnBlock", count: int, tags_off: int, offsets_off: int, blob_off: int) -> None:
         self._block = block
@@ -289,9 +306,29 @@ class BlockValues(Sequence):
         self._offsets_off = offsets_off
         self._blob_off = blob_off
         self._cache: list | None = None
+        self._kview = None
 
     def __len__(self) -> int:
         return self._count
+
+    def kernel_view(self):
+        """Columnar kernel view (``repro.core.colblock.ColumnView``) of this column.
+
+        The duck-typed hook ``Column._kernel_view`` picks up: multiprocess
+        workers rebuilding a shard via ``Table.from_block`` profile straight
+        off the received segment.  The view *copies* the three buffers out of
+        the block (tags, offsets, blob), so it stays valid — and keeps no
+        export on the segment — after ``ColumnBlock.close``.
+        """
+        if self._kview is None:
+            self._kview = view_from_block_buffers(
+                self._block.buffer(),
+                self._count,
+                self._tags_off,
+                self._offsets_off,
+                self._blob_off,
+            )
+        return self._kview
 
     def _decode(self, index: int) -> object:
         buf = self._block.buffer()
