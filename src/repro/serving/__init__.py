@@ -12,6 +12,12 @@ serve production traffic:
   shared-memory column blocks (``"multiprocess:4+shm"``) that ship tables
   out and fixed-width prediction records back without serializing either,
   with transparent pickle fallback and airtight segment lifecycle;
+* :mod:`repro.serving.net` — the multi-node arm of the same seam:
+  :class:`NetTransport` ships the identical block byte layouts over
+  length-prefixed crc-framed TCP (``"multiprocess:4+tcp://host:port"``)
+  with per-connection deadlines, bounded reconnect backoff, and per-shard
+  local fallback on any network failure; :class:`BlockWorkerServer` is the
+  remote peer, running the columnar kernels over received buffers;
 * :mod:`repro.serving.profile_store` — a bounded, content-hash-keyed LRU
   :class:`ProfileStore` that lifts the per-``Column`` memoized derived state
   (profiles, value views, feature vectors) off short-lived table objects so a
@@ -66,6 +72,15 @@ from repro.serving.profile_store import (
     ProfileStore,
     install_fork_handlers,
 )
+from repro.serving.net import (
+    BlockWorkerServer,
+    FrameError,
+    NetConfig,
+    NetError,
+    NetTimeoutError,
+    NetTransport,
+    PeerUnavailableError,
+)
 from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
 from repro.serving.slo import SloConfig, SloController
 from repro.serving.transport import (
@@ -95,6 +110,13 @@ __all__ = [
     "resolve_transport",
     "transport_stats",
     "reset_transport_stats",
+    "NetTransport",
+    "BlockWorkerServer",
+    "NetConfig",
+    "NetError",
+    "FrameError",
+    "PeerUnavailableError",
+    "NetTimeoutError",
     "ProfileStore",
     "PersistentProfileStore",
     "install_fork_handlers",

@@ -15,8 +15,10 @@ inherit the (possibly very large) pretrained model through copy-on-write
 memory instead of pickling it, so only the table shards and their predictions
 cross process boundaries.  *How* they cross is the backend's
 :class:`~repro.serving.transport.Transport` seam — the classic pickle
-round-trip, or zero-copy shared-memory column blocks
-(``"multiprocess:4+shm"``); see :mod:`repro.serving.transport`.  Without
+round-trip, zero-copy shared-memory column blocks
+(``"multiprocess:4+shm"``; see :mod:`repro.serving.transport`), or the same
+block byte layouts framed over TCP to remote annotation peers
+(``"multiprocess:4+tcp://host:port"``; see :mod:`repro.serving.net`).  Without
 ``fork`` (Windows, macOS ``spawn``) the shard function itself is pickled to
 the workers, which requires it to be a picklable callable (bound methods of a
 picklable model are fine; closures are not).
@@ -313,9 +315,10 @@ def resolve_backend(
     Accepts an instance (returned unchanged), a spec string — ``"serial"``,
     ``"threaded"``, ``"multiprocess"``, optionally with a worker count as in
     ``"threaded:4"`` and, for the multiprocess backend, a shard transport as
-    in ``"multiprocess:4+shm"`` (``+pickle`` | ``+shm``, see
-    :mod:`repro.serving.transport`) — or ``None``, which resolves to
-    *default* (falling back to a fresh :class:`SerialBackend`).
+    in ``"multiprocess:4+shm"`` (``+pickle`` | ``+shm`` | ``+tcp`` |
+    ``+tcp://host:port[,host2:port2]``, see :mod:`repro.serving.transport`
+    and :mod:`repro.serving.net`) — or ``None``, which resolves to *default*
+    (falling back to a fresh :class:`SerialBackend`).
     """
     if backend is None:
         return default if default is not None else SerialBackend()

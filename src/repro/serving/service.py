@@ -68,6 +68,7 @@ from repro.core import colblock
 from repro.core.prediction import TablePrediction
 from repro.core.table import Table, get_active_profile_store
 from repro.serving.slo import SloConfig, SloController
+from repro.serving.transport import transport_stats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.core.sigmatyper import SigmaTyper
@@ -252,6 +253,15 @@ class ServiceStats:
     #: Columnar-kernel operations that fell back to the per-value Python
     #: path (bigint/mixed/non-ASCII cells, or kernels disabled mid-run).
     kernel_fallbacks: int = 0
+    #: Shards whose cascade ran on a remote peer (net transport); mirrors the
+    #: process-wide :func:`repro.serving.transport.transport_stats`.
+    transport_remote_shards: int = 0
+    #: Shards that degraded off their preferred transport path — pickle
+    #: fallbacks (shm/tcp encode leg) plus the net transport's local reruns
+    #: after a network failure.
+    transport_fallbacks: int = 0
+    #: Human-readable reason of the most recent transport fallback.
+    transport_fallback_reason: str = ""
 
     @property
     def mean_batch_size(self) -> float:
@@ -300,6 +310,9 @@ class ServiceStats:
             "store_shared_hits": self.store_shared_hits,
             "kernel_hits": self.kernel_hits,
             "kernel_fallbacks": self.kernel_fallbacks,
+            "transport_remote_shards": self.transport_remote_shards,
+            "transport_fallbacks": self.transport_fallbacks,
+            "transport_fallback_reason": self.transport_fallback_reason,
         }
 
 
@@ -664,6 +677,20 @@ class AnnotationService:
                 kernel_counters = colblock.kernel_stats()
                 self.stats.kernel_hits = int(kernel_counters["kernel_hits"])
                 self.stats.kernel_fallbacks = int(kernel_counters["kernel_fallbacks"])
+                shard_transport = transport_stats()
+                if shard_transport:
+                    remote = fallbacks = 0
+                    reason = ""
+                    for bucket in shard_transport.values():
+                        remote += bucket.get("remote_shards", 0)
+                        fallbacks += (
+                            bucket.get("pickle_fallbacks", 0)
+                            + bucket.get("local_fallbacks", 0)
+                        )
+                        reason = bucket.get("last_fallback_reason", "") or reason
+                    self.stats.transport_remote_shards = remote
+                    self.stats.transport_fallbacks = fallbacks
+                    self.stats.transport_fallback_reason = reason
                 if self.adaptive is not None:
                     controller = self._controller(customer_id)
                     controller.observe(len(batch), elapsed)
@@ -699,4 +726,7 @@ class AnnotationService:
         store = get_active_profile_store()
         if store is not None and hasattr(store, "stats"):
             report["profile_store"] = store.stats()
+        shard_transport = transport_stats()
+        if shard_transport:
+            report["shard_transport"] = shard_transport
         return report

@@ -48,6 +48,7 @@ import os
 import pickle
 import struct
 import threading
+import weakref
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -715,6 +716,17 @@ class TransportStats:
     last_fallback_reason: str = ""
     segments_created: int = 0
     segments_unlinked: int = 0
+    #: Shards whose cascade actually ran on a remote peer (net transport).
+    remote_shards: int = 0
+    #: Shards that were meant for a peer but ran locally after a network
+    #: failure (unreachable peer, torn/corrupt frame, deadline) — the net
+    #: transport's per-shard graceful-degradation counter.
+    local_fallbacks: int = 0
+    #: Framed bytes that actually crossed a socket, per direction.
+    net_bytes_out: int = 0
+    net_bytes_in: int = 0
+    #: Connection attempts beyond the first (bounded reconnect-with-backoff).
+    reconnects: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -726,42 +738,103 @@ class TransportStats:
             "last_fallback_reason": self.last_fallback_reason,
             "segments_created": self.segments_created,
             "segments_unlinked": self.segments_unlinked,
+            "remote_shards": self.remote_shards,
+            "local_fallbacks": self.local_fallbacks,
+            "net_bytes_out": self.net_bytes_out,
+            "net_bytes_in": self.net_bytes_in,
+            "reconnects": self.reconnects,
         }
 
 
-#: Process-wide aggregate, keyed by transport name, mirrored into
-#: ``SigmaTyper.summary()["shard_transport"]`` so one call reports the
-#: serving-side bytes accounting next to the profile-store counters.
-_GLOBAL_STATS: dict = {}
-_GLOBAL_STATS_LOCK = threading.Lock()
+#: Process-wide stats registry.  Keyed by transport *uid* (one entry per
+#: live instance), not by name: counters live on the instance's
+#: ``TransportStats`` and the aggregate reads them through here, so
+#: re-registering the same instance (``resolve_transport`` on a transport
+#: that is already in use) is idempotent instead of double counting.
+#: Aggregates of garbage-collected instances fold into ``_RETIRED_STATS``
+#: (keyed by transport name) via a ``weakref.finalize`` hook, so the
+#: process-wide totals survive the instances that produced them.
+_STATS_LOCK = threading.Lock()
+_LIVE_STATS: dict = {}
+_RETIRED_STATS: dict = {}
+_UID_COUNTER = itertools.count()
 
 
-def _accumulate_global(name: str, **deltas) -> None:
-    with _GLOBAL_STATS_LOCK:
-        bucket = _GLOBAL_STATS.setdefault(
-            name,
-            {
-                "shards": 0,
-                "bytes_shipped": 0,
-                "shm_bytes": 0,
-                "pickle_fallbacks": 0,
-                "result_pickle_fallbacks": 0,
-            },
-        )
-        for key, delta in deltas.items():
-            bucket[key] = bucket.get(key, 0) + delta
+def _next_transport_uid(name: str) -> str:
+    return f"{name}-{os.getpid()}-{next(_UID_COUNTER)}"
+
+
+def _fold_stats(bucket: dict, snapshot: dict) -> None:
+    for key, value in snapshot.items():
+        if isinstance(value, bool):  # pragma: no cover - no bool fields today
+            continue
+        if isinstance(value, (int, float)):
+            bucket[key] = bucket.get(key, 0) + value
+        elif value:  # last_fallback_reason: keep the most recent non-empty
+            bucket[key] = value
+        else:
+            bucket.setdefault(key, value)
+
+
+def _delta_since(stats: "TransportStats", baseline: dict | None) -> dict:
+    snapshot = stats.as_dict()
+    if baseline:
+        for key, value in baseline.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                snapshot[key] = snapshot.get(key, 0) - value
+        if snapshot.get("last_fallback_reason") == baseline.get("last_fallback_reason"):
+            snapshot["last_fallback_reason"] = ""
+    return snapshot
+
+
+def _retire_transport(uid: str) -> None:
+    with _STATS_LOCK:
+        entry = _LIVE_STATS.pop(uid, None)
+        if entry is None:
+            return
+        name, stats, baseline = entry
+        _fold_stats(_RETIRED_STATS.setdefault(name, {}), _delta_since(stats, baseline))
+
+
+def _register_transport(transport: "Transport") -> None:
+    """Idempotently enroll *transport* in the process-wide aggregate.
+
+    Keyed by ``transport.uid``: registering the same instance twice (the
+    re-resolution path) keeps its existing entry, so its counters contribute
+    exactly once to :func:`transport_stats`.
+    """
+    with _STATS_LOCK:
+        already = transport.uid in _LIVE_STATS
+        if not already:
+            _LIVE_STATS[transport.uid] = (transport.name, transport.stats, None)
+    if not already:
+        weakref.finalize(transport, _retire_transport, transport.uid)
 
 
 def transport_stats() -> dict:
-    """Snapshot of the process-wide per-transport counters."""
-    with _GLOBAL_STATS_LOCK:
-        return {name: dict(bucket) for name, bucket in _GLOBAL_STATS.items()}
+    """Process-wide per-transport-name counters (live + retired instances)."""
+    with _STATS_LOCK:
+        merged: dict = {name: dict(bucket) for name, bucket in _RETIRED_STATS.items()}
+        for name, stats, baseline in _LIVE_STATS.values():
+            _fold_stats(merged.setdefault(name, {}), _delta_since(stats, baseline))
+    return {
+        name: bucket
+        for name, bucket in merged.items()
+        if any(isinstance(value, (int, float)) and value for value in bucket.values())
+    }
 
 
 def reset_transport_stats() -> None:
-    """Clear the process-wide counters (benchmarks and tests)."""
-    with _GLOBAL_STATS_LOCK:
-        _GLOBAL_STATS.clear()
+    """Zero the process-wide counters (benchmarks and tests).
+
+    Live instances keep their own ``stats`` untouched; the aggregate
+    remembers a baseline snapshot per instance and reports only activity
+    after the reset.
+    """
+    with _STATS_LOCK:
+        _RETIRED_STATS.clear()
+        for uid, (name, stats, _) in list(_LIVE_STATS.items()):
+            _LIVE_STATS[uid] = (name, stats, stats.as_dict())
 
 
 def _unlink_segment_name(name: str) -> bool:
@@ -795,6 +868,10 @@ class Transport(ABC):
     def __init__(self) -> None:
         self.stats = TransportStats()
         self._lock = threading.Lock()
+        #: Stable per-instance identity; the process-wide aggregate is keyed
+        #: by it, which is what makes re-resolving an in-use transport safe.
+        self.uid = _next_transport_uid(self.name)
+        _register_transport(self)
 
     # ------------------------------------------------------------- parent side
     @abstractmethod
@@ -853,7 +930,6 @@ class Transport(ABC):
         shipped += len(pickle.dumps(tuple(descriptor), _PICKLE_PROTOCOL))
         with self._lock:
             self.stats.bytes_shipped += shipped
-        _accumulate_global(self.name, bytes_shipped=shipped)
 
     def describe(self) -> dict:
         return {"transport": self.name, **self.stats.as_dict()}
@@ -870,6 +946,10 @@ class Transport(ABC):
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.Lock()
+        # A clone is a new stats-owning instance (fresh counters), never an
+        # alias of the original's registry entry.
+        self.uid = _next_transport_uid(self.name)
+        _register_transport(self)
 
 
 class PickleTransport(Transport):
@@ -886,7 +966,6 @@ class PickleTransport(Transport):
         payload = ("pickle", None, pickle.dumps(items, _PICKLE_PROTOCOL))
         with self._lock:
             self.stats.shards += 1
-        _accumulate_global(self.name, shards=1)
         self._count_shipped(payload)
         return payload
 
@@ -953,13 +1032,11 @@ class ShmTransport(Transport):
         with self._lock:
             self.stats.pickle_fallbacks += 1
             self.stats.last_fallback_reason = reason
-        _accumulate_global(self.name, pickle_fallbacks=1)
 
     def encode_shard(self, items: list) -> tuple:
         uid = self._next_uid()
         with self._lock:
             self.stats.shards += 1
-        _accumulate_global(self.name, shards=1)
         blob = None
         reason = ""
         if all(isinstance(item, Table) for item in items):
@@ -984,7 +1061,6 @@ class ShmTransport(Transport):
                 self._segments[uid] = segment
                 self.stats.shm_bytes += len(blob)
                 self.stats.segments_created += 1
-            _accumulate_global(self.name, shm_bytes=len(blob))
             payload = ("shm", uid, segment.name, len(blob))
         self._count_shipped(payload)
         return payload
@@ -999,7 +1075,6 @@ class ShmTransport(Transport):
             # last_fallback_reason is the shard leg's).
             with self._lock:
                 self.stats.result_pickle_fallbacks += 1
-            _accumulate_global(self.name, result_pickle_fallbacks=1)
             return pickle.loads(payload[1])
         if kind != "shm":  # pragma: no cover - worker/parent version skew
             raise ServingError(f"unknown result payload kind {kind!r}")
@@ -1086,18 +1161,28 @@ _TRANSPORTS: dict = {
 def resolve_transport(transport: "Transport | str | None") -> Transport:
     """Normalise a transport argument into a :class:`Transport` instance.
 
-    Accepts an instance (returned unchanged), a name — ``"pickle"`` or
-    ``"shm"`` — or ``None`` (the pickle baseline).
+    Accepts an instance (returned unchanged), a name — ``"pickle"``,
+    ``"shm"`` or ``"tcp"`` (peers from ``$REPRO_NET_PEERS``) — a peer spec
+    like ``"tcp://host:port[,host2:port2]"``, or ``None`` (the pickle
+    baseline).
     """
     if transport is None:
         return PickleTransport()
     if isinstance(transport, Transport):
+        # Re-resolution of an in-use instance: re-registering is idempotent
+        # by uid, so its counters stay counted exactly once process-wide.
+        _register_transport(transport)
         return transport
     if isinstance(transport, str):
+        if transport == "tcp" or transport.startswith("tcp://"):
+            from repro.serving import net  # local import: net imports this module
+
+            return net.NetTransport.from_spec(transport)
         transport_class = _TRANSPORTS.get(transport)
         if transport_class is None:
             raise ConfigurationError(
-                f"unknown shard transport {transport!r}; expected one of {sorted(_TRANSPORTS)}"
+                f"unknown shard transport {transport!r}; "
+                f"expected one of {sorted(_TRANSPORTS) + ['tcp', 'tcp://host:port']}"
             )
         return transport_class()
     raise ConfigurationError(

@@ -1,0 +1,264 @@
+"""Reusable fault-injection TCP proxy for the framed block protocol.
+
+``FaultProxy`` sits between a :class:`~repro.serving.net.NetTransport`
+client and a :class:`~repro.serving.net.BlockWorkerServer`, parses the
+``SGN1`` frames flowing through it, and injects faults at frame *and* byte
+granularity:
+
+* ``drop`` — swallow a frame entirely (the other side waits → deadline);
+* ``delay`` — hold a frame for ``delay_seconds`` before forwarding;
+* ``truncate`` — forward only the first ``keep_bytes`` bytes of a frame,
+  then cut the connection (a torn frame);
+* ``corrupt`` — flip one byte at ``corrupt_offset`` inside the frame
+  (header offsets break magic/length, payload offsets break the crc);
+* ``kill`` — cut both directions the moment the frame is seen
+  (mid-shard peer death), also available time-independently via
+  ``kill_after_frames=N`` (forward N frames, kill on the next).
+
+Rules match ``(direction, frame_index)`` — per-connection counters, with
+``conn_index`` optionally pinning a rule to the Nth accepted connection —
+and every injected fault is recorded in ``proxy.faults`` so tests assert
+exactly what fired.  The proxy is deliberately dependency-free and reusable
+by any test that wants to hurt the wire (chaos suite, E16 chaos leg).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.serving.net import FRAME_HEADER
+
+#: Direction names: client→server (shards) and server→client (results).
+C2S = "c2s"
+S2C = "s2c"
+
+
+@dataclass
+class Rule:
+    """One fault to inject; see the module docstring for action semantics."""
+
+    direction: str
+    frame_index: int
+    action: str
+    delay_seconds: float = 0.0
+    keep_bytes: int = 0
+    corrupt_offset: int = 0
+    #: Only fire on the Nth accepted connection (None = any connection).
+    conn_index: int | None = None
+
+    def matches(self, direction: str, frame_index: int, conn_index: int) -> bool:
+        return (
+            self.direction == direction
+            and self.frame_index == frame_index
+            and (self.conn_index is None or self.conn_index == conn_index)
+        )
+
+
+@dataclass
+class _ConnState:
+    """Shared between the two pump threads of one proxied connection."""
+
+    index: int
+
+
+class FaultProxy:
+    """A frame-aware TCP proxy injecting faults per the configured rules."""
+
+    def __init__(
+        self,
+        upstream: tuple,
+        rules=(),
+        kill_after_frames: int | None = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.upstream = (str(upstream[0]), int(upstream[1]))
+        self.rules = list(rules)
+        self.kill_after_frames = kill_after_frames
+        self._requested_host = host
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._threads: list = []
+        self._socks: set = set()
+        self._lock = threading.Lock()
+        self._running = False
+        self._conn_counter = 0
+        #: (direction, frame_index, action) per injected fault, in order.
+        self.faults: list = []
+        self.stats = {"connections": 0, "frames_forwarded": 0, "kills": 0}
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> tuple:
+        if self._listener is None:
+            raise RuntimeError("proxy not started")
+        return self._listener.getsockname()[:2]
+
+    @property
+    def spec(self) -> str:
+        host, port = self.address
+        return f"tcp://{host}:{port}"
+
+    def start(self) -> "FaultProxy":
+        if self._running:
+            return self
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._requested_host, 0))
+        listener.listen(32)
+        # Same trick as BlockWorkerServer: close() does not wake a blocked
+        # accept(), a short timeout lets the loop observe stop().
+        listener.settimeout(0.25)
+        self._listener = listener
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faultproxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            listener.close()
+        with self._lock:
+            socks = list(self._socks)
+        for sock in socks:
+            self._hard_close(sock)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ---------------------------------------------------------------- pumping
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while self._running and listener is not None:
+            try:
+                client, _addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                server = socket.create_connection(self.upstream, timeout=5)
+            except OSError:
+                client.close()
+                continue
+            # Pump reads block until EOF or stop()'s shutdown; a lingering
+            # connect timeout would tear down idle proxied connections.
+            server.settimeout(None)
+            client.settimeout(None)
+            with self._lock:
+                conn_index = self._conn_counter
+                self._conn_counter += 1
+                self.stats["connections"] += 1
+                self._socks.update((client, server))
+                state = _ConnState(index=conn_index)
+                for src, dst, direction in ((client, server, C2S), (server, client, S2C)):
+                    thread = threading.Thread(
+                        target=self._pump,
+                        args=(src, dst, direction, state),
+                        name=f"faultproxy-{direction}-{conn_index}",
+                        daemon=True,
+                    )
+                    self._threads.append(thread)
+                    thread.start()
+
+    @staticmethod
+    def _read_exact(sock: socket.socket, n: int):
+        chunks = []
+        got = 0
+        while got < n:
+            try:
+                chunk = sock.recv(min(n - got, 1 << 20))
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def _hard_close(self, sock: socket.socket) -> None:
+        try:
+            sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        sock.close()
+        with self._lock:
+            self._socks.discard(sock)
+
+    def _match(self, direction: str, frame_index: int, conn_index: int):
+        for rule in self.rules:
+            if rule.matches(direction, frame_index, conn_index):
+                return rule
+        return None
+
+    def _pump(self, src, dst, direction: str, state: _ConnState) -> None:
+        frame_index = 0
+        try:
+            while self._running:
+                header = self._read_exact(src, FRAME_HEADER.size)
+                if header is None:
+                    break
+                _magic, _msg_type, length, _crc = FRAME_HEADER.unpack(header)
+                payload = self._read_exact(src, length)
+                if payload is None:
+                    break
+                frame = header + payload
+                rule = self._match(direction, frame_index, state.index)
+                this_index, frame_index = frame_index, frame_index + 1
+                if rule is not None:
+                    with self._lock:
+                        self.faults.append((direction, this_index, rule.action))
+                    if rule.action == "drop":
+                        continue
+                    if rule.action == "kill":
+                        self.stats["kills"] += 1
+                        break
+                    if rule.action == "truncate":
+                        try:
+                            dst.sendall(frame[: rule.keep_bytes])
+                        except OSError:
+                            pass
+                        break
+                    if rule.action == "delay":
+                        time.sleep(rule.delay_seconds)
+                    elif rule.action == "corrupt":
+                        mutated = bytearray(frame)
+                        mutated[rule.corrupt_offset] ^= 0xFF
+                        frame = bytes(mutated)
+                if self.kill_after_frames is not None:
+                    # Global budget across connections and directions:
+                    # forward N frames total, kill on the next one seen.
+                    with self._lock:
+                        exhausted = self.stats["frames_forwarded"] >= self.kill_after_frames
+                        if exhausted:
+                            self.stats["kills"] += 1
+                    if exhausted:
+                        break
+                try:
+                    dst.sendall(frame)
+                except OSError:
+                    break
+                with self._lock:
+                    self.stats["frames_forwarded"] += 1
+        finally:
+            # Any exit tears down both directions: a fault in one leg must
+            # look like a dead peer, not a half-open socket.
+            self._hard_close(src)
+            self._hard_close(dst)

