@@ -66,7 +66,7 @@ def test_fig2_global_local_weights(benchmark, sigmatyper, customer_domains, reco
     fresh_mapping = sigmatyper.annotate(reference_table, customer_id="e2-fresh").as_mapping()
     assert fresh_mapping == baseline_mapping
 
-    benchmark(sigmatyper.annotate, reference_table, customer_id=list(customer_domains)[0])
+    benchmark(sigmatyper.annotate, reference_table, customer_id=next(iter(customer_domains)))
 
     record_result(
         "E2_fig2_global_local",

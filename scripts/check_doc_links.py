@@ -8,7 +8,10 @@ CHANGES.md) for inline links and verifies:
 * every ``#anchor`` fragment — same-file (``#section``) or on a relative
   markdown link (``GUIDE.md#section``) — matches a heading in the target
   file, using GitHub's slug rules (lowercased, punctuation stripped, spaces
-  to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...).
+  to hyphens, duplicate slugs suffixed ``-1``, ``-2``, ...);
+* the generated ``REPRO_*`` knob table embedded in ``docs/SERVING.md``
+  matches the registry in ``repro.analysis.knobs`` (regenerate with
+  ``python scripts/repro_lint.py --knobs``).
 
 External URLs are ignored.  Exits non-zero listing every broken link or
 anchor so the CI docs job fails loudly instead of shipping dead references.
@@ -21,6 +24,12 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.knobs import embedded_table_problems  # noqa: E402 - path bootstrap first
+
+#: Markdown files carrying a generated knob table that must match the registry.
+KNOB_TABLE_FILES = ["docs/SERVING.md"]
 
 #: Markdown files whose links must resolve (paths relative to the repo root).
 DOC_FILES = [
@@ -116,6 +125,12 @@ def main() -> int:
             continue
         checked += 1
         broken.extend(check_file(path, anchor_cache))
+    for name in KNOB_TABLE_FILES:
+        path = REPO_ROOT / name
+        if not path.exists():
+            continue
+        for problem in embedded_table_problems(path.read_text(encoding="utf-8")):
+            broken.append(f"{name}: knob table -> {problem}")
     if broken:
         print("\n".join(broken))
         print(f"\n{len(broken)} broken link(s)/anchor(s) across {checked} file(s).")

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""repro-lint launcher that works without PYTHONPATH=src.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis``; see
+``python scripts/repro_lint.py --help`` (and ``--explain RL00x`` /
+``--knobs``).  CI runs the module form; this wrapper is for humans.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.cli import main  # noqa: E402 - path bootstrap first
+
+if __name__ == "__main__":
+    # Default the lint root to the repo root so the wrapper behaves the same
+    # from any working directory.
+    argv = sys.argv[1:]
+    if "--root" not in argv:
+        argv = ["--root", str(REPO_ROOT), *argv]
+    sys.exit(main(argv))

@@ -112,7 +112,9 @@ class GlobalLocalWeights:
         ``W_g · global + W_l · local``.
         """
         combined: dict[str, float] = {}
-        for type_name in set(global_scores) | set(local_scores):
+        # Sorted so the combined dict (and any max()-style tie-break over it)
+        # is identical across interpreters regardless of PYTHONHASHSEED.
+        for type_name in sorted(set(global_scores) | set(local_scores)):
             w_local = self.local_weight(type_name)
             w_global = 1.0 - w_local
             combined[type_name] = (

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis`` — see :mod:`repro.analysis.cli`."""
+
+import sys
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

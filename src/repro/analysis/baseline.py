@@ -1,0 +1,56 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The committed baseline (``.repro-lint-baseline.json`` at the repo root) is a
+list of finding fingerprints with enough context to review them.  Policy:
+
+* the baseline only ever *shrinks* — new findings always fail; fixing a
+  grandfathered finding and regenerating removes its entry;
+* regenerate with ``--write-baseline`` (review the diff like code);
+* fingerprints hash the offending line's *text*, not its number, so
+  unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+BASELINE_NAME = ".repro-lint-baseline.json"
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> frozenset:
+    """Fingerprint set from a baseline file; empty when absent."""
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {data.get('version')!r} "
+            f"(expected {_VERSION})"
+        )
+    return frozenset(entry["fingerprint"] for entry in data.get("findings", []))
+
+
+def write_baseline(path: Path, findings) -> None:
+    """Serialize *findings* (new + still-baselined) as the fresh baseline."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "check_id": f.check_id,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.check_id))
+    ]
+    payload = {
+        "version": _VERSION,
+        "comment": (
+            "Grandfathered repro-lint findings. Only shrink this file: fix the "
+            "finding and run `python -m repro.analysis src tests benchmarks "
+            "--write-baseline`. New findings always fail CI."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

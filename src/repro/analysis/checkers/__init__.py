@@ -1,0 +1,24 @@
+"""Checker registry: one module per RL id, assembled here.
+
+Adding a checker: write the module, append the class, give it fixtures in
+``tests/test_repro_lint.py`` (at least one positive and one negative), and
+document it in the ``docs/ARCHITECTURE.md`` static-analysis catalogue.
+"""
+
+from repro.analysis.checkers.rl001_async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.rl002_lock_discipline import LockDisciplineChecker
+from repro.analysis.checkers.rl003_resource_lifecycle import ResourceLifecycleChecker
+from repro.analysis.checkers.rl004_parity import ParityHygieneChecker
+from repro.analysis.checkers.rl005_stats_lock import StatsLockChecker
+from repro.analysis.checkers.rl006_env_knobs import EnvKnobChecker
+
+ALL_CHECKERS = (
+    AsyncBlockingChecker,
+    LockDisciplineChecker,
+    ResourceLifecycleChecker,
+    ParityHygieneChecker,
+    StatsLockChecker,
+    EnvKnobChecker,
+)
+
+__all__ = ["ALL_CHECKERS"]

@@ -1,0 +1,97 @@
+"""RL001: no blocking call inside ``async def``.
+
+``frontend.py`` and ``service.py`` are pure asyncio: one blocked event loop
+stalls every tenant at once, which is precisely the failure the SLO front
+end exists to prevent.  A synchronous sleep, socket dial, file open, or
+threading-lock acquire inside a coroutine silently serializes the server.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.common import (
+    call_name,
+    dotted_name,
+    looks_like_lock,
+    walk_in_function,
+)
+from repro.analysis.core import Checker
+
+#: Callables that block the calling thread outright.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "socket.socket",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "os.system",
+        "os.waitpid",
+        "urllib.request.urlopen",
+        "open",
+    }
+)
+
+
+class AsyncBlockingChecker(Checker):
+    id = "RL001"
+    name = "blocking-call-in-async"
+    fix_hint = (
+        "use the asyncio equivalent (asyncio.sleep, asyncio.open_connection, "
+        "asyncio.Lock) or push the call off-loop via asyncio.to_thread/run_in_executor"
+    )
+    explain = """\
+RL001 blocking-call-in-async
+
+Flags synchronous blocking calls lexically inside an `async def`:
+
+  * time.sleep, socket dials/DNS, subprocess spawns, os.system, builtin open();
+  * non-awaited `.acquire()` on a threading-style lock (a receiver whose name
+    mentions lock/mutex/sem) — `await asyncio_lock.acquire()` is fine.
+
+Why: repro.serving.frontend / repro.serving.service run ONE event loop for
+every tenant.  A single blocking call inside a coroutine freezes admission
+control, deadline bookkeeping, and every in-flight request at once — the
+outage mode the SLO front end (PR 6) exists to prevent.  Nested synchronous
+`def`s are not flagged (they run when called, under the caller's rules).
+
+Fix: asyncio.sleep / asyncio.open_connection / asyncio.Lock, or wrap the
+blocking work in asyncio.to_thread(...).  Suppress (with a reason) only for
+calls proven O(microseconds), e.g. a contended-free stats peek.
+"""
+
+    def check_module(self, module):
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            awaited = set()
+            for node in walk_in_function(func):
+                if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                    awaited.add(id(node.value))
+            for node in walk_in_function(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = call_name(node)
+                if name in _BLOCKING_CALLS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"blocking call {name}() inside async def {func.name}()",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "acquire"
+                    and id(node) not in awaited
+                    and looks_like_lock(dotted_name(node.func.value))
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"non-awaited lock acquire {name}() inside async def "
+                        f"{func.name}() blocks the event loop",
+                    )

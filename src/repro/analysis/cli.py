@@ -1,0 +1,127 @@
+"""Command-line entry point: ``python -m repro.analysis`` / ``scripts/repro_lint.py``.
+
+Exit codes: 0 clean (baselined findings allowed), 1 new findings, 2 usage
+errors.  ``--json`` writes the machine report CI uploads as an artifact;
+``--explain RL00x`` prints one checker's long-form docs; ``--knobs`` emits
+the env-knob registry as the markdown table embedded in docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import BASELINE_NAME, load_baseline, write_baseline
+from repro.analysis.core import all_checkers, checker_by_id
+from repro.analysis.engine import run_lint
+from repro.analysis.knobs import TABLE_BEGIN, TABLE_END, render_knob_table
+from repro.analysis.report import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based project-invariant checks (concurrency, resource "
+        "lifecycle, parity) for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write the JSON report ('-' = stdout)")
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=f"baseline file (default: <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline entirely"
+    )
+    parser.add_argument(
+        "--root", default=".", help="repo root paths are resolved against (default: cwd)"
+    )
+    parser.add_argument(
+        "--explain", metavar="RL00x", help="print one checker's documentation and exit"
+    )
+    parser.add_argument(
+        "--knobs",
+        action="store_true",
+        help="print the REPRO_* env-knob registry as markdown and exit",
+    )
+    parser.add_argument(
+        "--list-checkers", action="store_true", help="list registered checkers and exit"
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print grandfathered findings in the text report",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.knobs:
+        print(TABLE_BEGIN)
+        print(render_knob_table())
+        print(TABLE_END)
+        return 0
+
+    if args.list_checkers:
+        for checker in all_checkers():
+            scopes = ",".join(checker.scopes)
+            print(f"{checker.id}  {checker.name}  [{checker.severity}; scopes: {scopes}]")
+        return 0
+
+    if args.explain:
+        checker = checker_by_id(args.explain)
+        if checker is None:
+            known = ", ".join(c.id for c in all_checkers())
+            print(f"unknown checker {args.explain!r} (known: {known})", file=sys.stderr)
+            return 2
+        print(checker.explain.rstrip())
+        print(f"\ndocs: {checker.doc_link}")
+        return 0
+
+    root = Path(args.root).resolve()
+    baseline_path = Path(args.baseline) if args.baseline else root / BASELINE_NAME
+    fingerprints = frozenset()
+    if not args.no_baseline and not args.write_baseline:
+        try:
+            fingerprints = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    missing = [p for p in args.paths if not (root / p).exists() and not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    result = run_lint(args.paths, root=root, baseline_fingerprints=fingerprints)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, result.findings + result.baselined)
+        print(
+            f"wrote {baseline_path} with "
+            f"{len(result.findings) + len(result.baselined)} grandfathered finding(s)"
+        )
+        return 0
+
+    if args.json:
+        report = render_json(result)
+        if args.json == "-":
+            print(report)
+        else:
+            Path(args.json).write_text(report + "\n", encoding="utf-8")
+    print(render_text(result, verbose_baseline=args.show_baselined))
+    return result.exit_code

@@ -1,0 +1,147 @@
+"""Finding/checker model and the checker registry.
+
+A checker is a small class with an ``id`` (``RL001``...), a severity, a
+fix hint, a docs link, and a ``check_module`` generator over one parsed
+module.  Checkers that need whole-project state (RL006's registry/readers
+reconciliation) also implement ``finish``.  The registry is assembled in
+:mod:`repro.analysis.checkers` — adding a checker is: write the class,
+append it to ``ALL_CHECKERS``, add fixtures to ``tests/test_repro_lint.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleContext, ProjectContext
+
+
+class Severity:
+    """Finding severities; both fail the gate, warnings are advisory-styled."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+#: Checker id used for framework-level findings (syntax errors, malformed
+#: suppression comments) that no registered checker owns.
+FRAMEWORK_ID = "RL000"
+
+#: Anchor in the architecture doc every checker links back to.
+DOCS_BASE = "docs/ARCHITECTURE.md#static-analysis"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    check_id: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    severity: str = Severity.ERROR
+    fix_hint: str = ""
+    #: Source text of the offending line, used for the stable fingerprint.
+    line_text: str = ""
+    #: Stable identity for baseline matching; filled by the engine.
+    fingerprint: str = ""
+    #: True when the finding is grandfathered by the committed baseline.
+    baselined: bool = field(default=False, compare=False)
+
+    def with_fingerprint(self, occurrence: int) -> "Finding":
+        """Fingerprint from content, not position: the check id, the file,
+        the *text* of the offending line, and an occurrence index among
+        identical lines — stable across unrelated edits that renumber
+        lines, which is what keeps the baseline from churning."""
+        digest = hashlib.sha1(
+            f"{self.check_id}|{self.path}|{self.line_text.strip()}|{occurrence}".encode()
+        ).hexdigest()[:16]
+        return Finding(
+            check_id=self.check_id,
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            message=self.message,
+            severity=self.severity,
+            fix_hint=self.fix_hint,
+            line_text=self.line_text,
+            fingerprint=digest,
+        )
+
+
+class Checker:
+    """Base class: subclasses override ``check_module`` (and ``finish``)."""
+
+    id: str = "RL00?"
+    name: str = "unnamed"
+    severity: str = Severity.ERROR
+    fix_hint: str = ""
+    #: Top-level directories the checker applies to; parity/locking rules
+    #: bind production code (``src``) while lifecycle/async rules bind the
+    #: whole tree.
+    scopes: tuple = ("src", "tests", "benchmarks")
+    #: Long-form documentation printed by ``--explain``.
+    explain: str = ""
+
+    @property
+    def doc_link(self) -> str:
+        return DOCS_BASE
+
+    def check_module(self, module: "ModuleContext") -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+    def finish(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield whole-project findings after every module was scanned."""
+        return iter(())
+
+    # ------------------------------------------------------------ convenience
+    def finding(
+        self,
+        module: "ModuleContext",
+        node,
+        message: str,
+        severity: str | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        text = module.lines[line - 1] if 0 < line <= len(module.lines) else ""
+        return Finding(
+            check_id=self.id,
+            path=module.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            severity=severity or self.severity,
+            fix_hint=self.fix_hint,
+            line_text=text,
+        )
+
+
+def all_checkers() -> list:
+    """Fresh instances of every registered checker (stateful per run)."""
+    from repro.analysis.checkers import ALL_CHECKERS
+
+    return [cls() for cls in ALL_CHECKERS]
+
+
+def checker_by_id(check_id: str) -> Checker | None:
+    for checker in all_checkers():
+        if checker.id == check_id.upper():
+            return checker
+    return None
+
+
+def assign_fingerprints(findings: Iterable[Finding]) -> list:
+    """Stable fingerprints: occurrence-indexed among identical line texts."""
+    seen: dict = {}
+    out = []
+    for finding in findings:
+        key = (finding.check_id, finding.path, finding.line_text.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(finding.with_fingerprint(occurrence))
+    return out

@@ -1,0 +1,225 @@
+"""File discovery, parsing, suppression handling, and the lint run itself.
+
+Suppressions are per-line comments carrying a mandatory reason::
+
+    lock.acquire()  # repro-lint: disable=RL002 released by the fork handler
+
+A standalone comment line suppresses the next statement line instead, for
+lines too long to carry a trailing comment.  A suppression without a reason
+is itself a finding (RL000): the reason is the reviewable artifact.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import (
+    FRAMEWORK_ID,
+    Checker,
+    Finding,
+    Severity,
+    all_checkers,
+    assign_fingerprints,
+)
+
+#: ``# repro-lint: disable=RL001,RL002 <reason>``
+_SUPPRESS = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9,\s]+?)(?:\s+(?P<reason>\S.*))?$"
+)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+@dataclass
+class Suppression:
+    line: int  # line the suppression applies to
+    ids: frozenset
+    reason: str
+    comment_line: int  # line the comment itself is on
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything checkers need around it."""
+
+    path: Path
+    rel_path: str  # repo-relative posix path
+    scope: str  # first path component: "src" / "tests" / "benchmarks"
+    source: str
+    lines: list
+    tree: ast.AST
+    _parents: dict = field(default_factory=dict, repr=False)
+
+    def parent(self, node: ast.AST):
+        if not self._parents:
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    self._parents[child] = parent
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST):
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+@dataclass
+class ProjectContext:
+    """Whole-run state handed to ``Checker.finish``."""
+
+    root: Path
+    modules: list
+
+
+@dataclass
+class LintResult:
+    findings: list  # new (failing) findings, fingerprinted
+    baselined: list  # grandfathered findings, still reported
+    suppressed_count: int
+    module_count: int
+    checkers: list
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def parse_suppressions(lines: Iterable[str]) -> list:
+    """All suppression comments in a file, resolved to the line they cover."""
+    suppressions = []
+    for lineno, line in enumerate(lines, 1):
+        match = _SUPPRESS.search(line)
+        if not match:
+            continue
+        ids = frozenset(
+            part.strip().upper() for part in match.group("ids").split(",") if part.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        standalone = line.strip().startswith("#")
+        covered = lineno + 1 if standalone else lineno
+        suppressions.append(
+            Suppression(line=covered, ids=ids, reason=reason, comment_line=lineno)
+        )
+    return suppressions
+
+
+def discover_files(paths: Iterable[Path], root: Path) -> list:
+    """Every ``.py`` file under *paths*, sorted, caches skipped."""
+    found = []
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_file() and path.suffix == ".py":
+            found.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                continue
+            found.append(candidate)
+    return found
+
+
+def load_module(path: Path, root: Path) -> ModuleContext | Finding:
+    """Parse one file; a syntax error is itself a finding, not a crash."""
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    scope = rel.split("/", 1)[0]
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            check_id=FRAMEWORK_ID,
+            path=rel,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            severity=Severity.ERROR,
+            line_text=(exc.text or "").rstrip("\n"),
+        )
+    return ModuleContext(
+        path=path,
+        rel_path=rel,
+        scope=scope,
+        source=source,
+        lines=source.splitlines(),
+        tree=tree,
+    )
+
+
+def run_lint(
+    paths: Iterable,
+    root: Path | str = ".",
+    checkers: list | None = None,
+    baseline_fingerprints: frozenset = frozenset(),
+) -> LintResult:
+    """Run every checker over every file under *paths*.
+
+    Returns new findings, baselined findings, and counts.  The caller (CLI)
+    owns baseline IO; this function only needs the fingerprint set so it is
+    trivially testable on snippets.
+    """
+    root = Path(root)
+    active = list(checkers) if checkers is not None else all_checkers()
+    raw_findings: list = []
+    modules: list = []
+
+    for path in discover_files([Path(p) for p in paths], root):
+        loaded = load_module(path, root)
+        if isinstance(loaded, Finding):
+            raw_findings.append(loaded)
+            continue
+        modules.append(loaded)
+        for checker in active:
+            if loaded.scope in checker.scopes:
+                raw_findings.extend(checker.check_module(loaded))
+
+    project = ProjectContext(root=root, modules=modules)
+    for checker in active:
+        raw_findings.extend(checker.finish(project))
+
+    # ------------------------------------------------------------ suppression
+    suppression_map: dict = {}
+    for module in modules:
+        for suppression in parse_suppressions(module.lines):
+            suppression_map.setdefault((module.rel_path, suppression.line), []).append(
+                suppression
+            )
+            if not suppression.reason:
+                raw_findings.append(
+                    Finding(
+                        check_id=FRAMEWORK_ID,
+                        path=module.rel_path,
+                        line=suppression.comment_line,
+                        col=0,
+                        message=(
+                            "suppression without a reason — write "
+                            "`# repro-lint: disable=<ID> <why this is safe>`"
+                        ),
+                        line_text=module.lines[suppression.comment_line - 1],
+                    )
+                )
+
+    kept, suppressed = [], 0
+    for finding in raw_findings:
+        covering = suppression_map.get((finding.path, finding.line), [])
+        if any(finding.check_id in s.ids and s.reason for s in covering):
+            suppressed += 1
+            continue
+        kept.append(finding)
+
+    kept = assign_fingerprints(
+        sorted(kept, key=lambda f: (f.path, f.line, f.col, f.check_id))
+    )
+    new = [f for f in kept if f.fingerprint not in baseline_fingerprints]
+    baselined = [f for f in kept if f.fingerprint in baseline_fingerprints]
+    return LintResult(
+        findings=new,
+        baselined=baselined,
+        suppressed_count=suppressed,
+        module_count=len(modules),
+        checkers=active,
+    )

@@ -1,0 +1,64 @@
+"""Text and JSON reporters for a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+
+
+def render_text(result: LintResult, verbose_baseline: bool = False) -> str:
+    """Human report: one line per finding, grouped by file, summary last."""
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.check_id} [{finding.severity}] {finding.message}"
+        )
+        if finding.fix_hint:
+            lines.append(f"    hint: {finding.fix_hint}")
+    if verbose_baseline:
+        for finding in result.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}:{finding.col + 1}: "
+                f"{finding.check_id} [baselined] {finding.message}"
+            )
+    summary = (
+        f"{len(result.findings)} finding(s), {len(result.baselined)} baselined, "
+        f"{result.suppressed_count} suppressed across {result.module_count} module(s) "
+        f"({len(result.checkers)} checkers)"
+    )
+    lines.append(summary if not lines else "\n" + summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine report — uploaded as the CI artifact."""
+
+    def encode(finding, baselined: bool) -> dict:
+        return {
+            "check_id": finding.check_id,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "severity": finding.severity,
+            "message": finding.message,
+            "fix_hint": finding.fix_hint,
+            "fingerprint": finding.fingerprint,
+            "baselined": baselined,
+        }
+
+    payload = {
+        "tool": "repro-lint",
+        "version": 1,
+        "summary": {
+            "new_findings": len(result.findings),
+            "baselined_findings": len(result.baselined),
+            "suppressed": result.suppressed_count,
+            "modules": result.module_count,
+            "checkers": [c.id for c in result.checkers],
+        },
+        "findings": [encode(f, False) for f in result.findings]
+        + [encode(f, True) for f in result.baselined],
+    }
+    return json.dumps(payload, indent=2)

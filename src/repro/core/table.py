@@ -402,7 +402,7 @@ class Column:
         values: Sequence[object],
         semantic_type: str | None = None,
         metadata: dict[str, object] | None = None,
-        block_view: object = None,
+        block_view: object | None = None,
     ) -> "Column":
         """Build a column over *values* without copying them into a list.
 

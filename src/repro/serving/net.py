@@ -276,6 +276,7 @@ class NetTransport(Transport):
         if not self.peers:
             raise ConfigurationError("NetTransport needs at least one peer")
         self.config = config if config is not None else NetConfig()
+        # repro-lint: disable=RL004 uid prefix only names wire messages/segments; never reaches results
         self._uid_prefix = f"{os.getpid()}-{os.urandom(3).hex()}"
         self._uid_counter = itertools.count()
         self._peer_counter = itertools.count()

@@ -62,6 +62,7 @@ persistent store deletes its segment and journal files too).  See
 
 from __future__ import annotations
 
+import functools
 import os
 import pickle
 import struct
@@ -101,11 +102,31 @@ _INSTALL_LOCK = threading.Lock()
 _FORK_HANDLERS_INSTALLED = False
 
 
+def _holding_store_lock(method):
+    """Take ``self._lock`` (re-entrantly) around *method*.
+
+    The persistent store's helpers are reached with the caller already
+    holding the RLock, so the extra acquire is free; decorating makes the
+    counters-under-lock invariant (RL005) locally provable instead of a
+    property of every call chain — and keeps it true if a new caller
+    forgets the lock.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 def _fork_before() -> None:
+    # repro-lint: disable=RL002 cross-handler ownership: released by _fork_after_in_parent / re-initialised by _fork_after_in_child
     _FORK_STATE_LOCK.acquire()
     del _HELD_AT_FORK[:]
     for store in list(_FORK_REGISTRY):
         try:
+            # repro-lint: disable=RL002 cross-handler ownership: released by _fork_after_in_parent; the child replaces the lock outright
             if store._lock.acquire(timeout=_FORK_LOCK_TIMEOUT):
                 _HELD_AT_FORK.append(store)
         except Exception:  # noqa: BLE001 - a fork must never fail on a cache
@@ -128,12 +149,16 @@ def _fork_after_in_parent() -> None:
 
 
 def _fork_after_in_child() -> None:
-    global _FORK_STATE_LOCK
+    global _FORK_STATE_LOCK, _INSTALL_LOCK
     held = set(map(id, _HELD_AT_FORK))
     del _HELD_AT_FORK[:]
     # The inherited fork-state lock is held (the parent's before handler took
-    # it); replace it so the child's own future forks are not wedged.
+    # it); replace it so the child's own future forks are not wedged.  The
+    # install lock gets the same treatment: another parent thread could have
+    # been inside install_fork_handlers() at fork time, and a child that
+    # later constructs a store would wedge on the inherited held lock.
     _FORK_STATE_LOCK = threading.Lock()
+    _INSTALL_LOCK = threading.Lock()
     for store in list(_FORK_REGISTRY):
         try:
             store._after_fork_in_child(consistent=id(store) in held)
@@ -522,6 +547,7 @@ class PersistentProfileStore(ProfileStore):
             self._ensure_journal()
 
     # ----------------------------------------------------------------- recovery
+    @_holding_store_lock
     def _recover(self) -> None:
         """Index every intact record in the directory's segment files."""
         # Snapshot sibling journal sizes *before* scanning segments: every
@@ -579,6 +605,7 @@ class PersistentProfileStore(ProfileStore):
         self.recovered_entries = len(self._index)
 
     # ----------------------------------------------------------------- writing
+    @_holding_store_lock
     def _ensure_writer(self):
         """The append handle for this process's active segment (fork-aware)."""
         pid = os.getpid()
@@ -648,6 +675,7 @@ class PersistentProfileStore(ProfileStore):
         )
         self._ensure_journal().write(record)
 
+    @_holding_store_lock
     def _append_record(self, flag: int, content_hash: str, payload: bytes) -> None:
         writer = self._ensure_writer()
         crc = zlib.crc32(payload)
@@ -702,6 +730,7 @@ class PersistentProfileStore(ProfileStore):
             self._maybe_compact()
             return flushed
 
+    @_holding_store_lock
     def _flush_entry(self, content_hash: str, namespace: dict) -> bool:
         """Append one namespace's record if it is dirty; True if written."""
         size = len(namespace)
@@ -794,6 +823,7 @@ class PersistentProfileStore(ProfileStore):
             return None
         return namespace
 
+    @_holding_store_lock
     def _load_fallback(self, content_hash: str) -> dict | None:
         if self._closed:
             return None
@@ -863,6 +893,7 @@ class PersistentProfileStore(ProfileStore):
             if path not in self._dead_journals:
                 self._tail_journal(path)
 
+    @_holding_store_lock
     def _tail_journal(self, path: Path) -> None:
         offset = self._tail_offsets.get(path, 0)
         try:
@@ -991,6 +1022,7 @@ class PersistentProfileStore(ProfileStore):
             self._flush_entry(content_hash, namespace)
         self._persisted_sizes.pop(content_hash, None)
 
+    @_holding_store_lock
     def _invalidate_tier(self, content_hash: str) -> bool:
         self._persisted_sizes.pop(content_hash, None)
         self._unpicklable.discard(content_hash)

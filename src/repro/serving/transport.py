@@ -1011,6 +1011,7 @@ class ShmTransport(Transport):
             raise ConfigurationError("max_segment_bytes must be positive")
         #: Open shard segments owned by this (parent) process, keyed by uid.
         self._segments: dict = {}
+        # repro-lint: disable=RL004 uid prefix only names /dev/shm segments; never reaches results
         self._uid_prefix = f"{os.getpid()}-{os.urandom(3).hex()}"
         self._uid_counter = itertools.count()
 

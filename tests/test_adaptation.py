@@ -77,6 +77,18 @@ class TestWeightSchedules:
         # Types without local observations keep their global confidence.
         assert combined["revenue"] == pytest.approx(0.8)
 
+    def test_combine_scores_order_is_hashseed_independent(self):
+        """Regression (repro-lint RL004): combining iterates the union of the
+        two score dicts in sorted order, so the combined mapping — and any
+        insertion-order-sensitive consumer (max tie-breaks, codecs) — is
+        identical across interpreters regardless of PYTHONHASHSEED."""
+        weights = GlobalLocalWeights(config=WeightScheduleConfig(saturation_k=1.0))
+        weights.record_observation("salary")
+        combined = weights.combine_scores(
+            {"salary": 0.2, "revenue": 0.8}, {"zip": 0.1, "salary": 1.0, "age": 0.3}
+        )
+        assert list(combined) == sorted(combined)
+
     def test_weight_vectors(self):
         weights = GlobalLocalWeights()
         weights.record_observation("salary")

@@ -27,7 +27,7 @@ import pytest
 
 from datagen import mixed_table, random_corpus
 from faultnet import C2S, S2C, FaultProxy, Rule
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, ServingError
 from repro.core.prediction import ColumnPrediction, TablePrediction, TypeScore
 from repro.core.table import Table
 from repro.serving import MultiprocessBackend, resolve_backend, resolve_transport
@@ -552,7 +552,7 @@ class TestChaos:
 class TestServerLifecycle:
     def test_address_requires_start(self):
         server = BlockWorkerServer(predict_tables)
-        with pytest.raises(Exception, match="not started"):
+        with pytest.raises(ServingError, match="not started"):
             server.address  # noqa: B018 - the property raises
 
     def test_stop_unblocks_an_idle_connection(self):

@@ -536,6 +536,37 @@ class TestForkSafety:
         assert store.shared_hits >= 1, store.stats()
         store.close()
 
+    def test_fork_child_replaces_both_module_locks(self):
+        """Regression (repro-lint RL002): the after-fork-in-child handler must
+        replace BOTH module-level locks — the fork-state lock the before
+        handler holds across the fork, and the install lock another parent
+        thread could be holding inside ``install_fork_handlers()`` at fork
+        time.  An inherited held lock wedges the child forever."""
+        import weakref
+
+        from repro.serving import profile_store as ps
+
+        saved_registry = ps._FORK_REGISTRY  # noqa: SLF001
+        state_before, install_before = ps._FORK_STATE_LOCK, ps._INSTALL_LOCK  # noqa: SLF001
+        ps._FORK_REGISTRY = weakref.WeakSet()  # noqa: SLF001 - no live stores in the drill
+        try:
+            ps._fork_before()  # noqa: SLF001 - parent's handler: holds the state lock
+            assert ps._FORK_STATE_LOCK.locked()  # noqa: SLF001
+            ps._fork_after_in_child()  # noqa: SLF001
+            assert ps._FORK_STATE_LOCK is not state_before  # noqa: SLF001
+            assert ps._INSTALL_LOCK is not install_before  # noqa: SLF001
+            # Both fresh locks are immediately usable in the "child".
+            for lock in (ps._FORK_STATE_LOCK, ps._INSTALL_LOCK):  # noqa: SLF001
+                acquired = lock.acquire(timeout=1)
+                try:
+                    assert acquired, "fresh lock arrived held"
+                finally:
+                    lock.release()
+        finally:
+            ps._FORK_REGISTRY = saved_registry  # noqa: SLF001
+            if state_before.locked():
+                state_before.release()
+
     def test_multiprocess_two_workers_parity_with_persistent_store(
         self, pretrained_typer, shared_tables, tmp_path
     ):

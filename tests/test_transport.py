@@ -16,6 +16,7 @@ from __future__ import annotations
 import os
 import pickle
 import random
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -251,7 +252,7 @@ class TestLifecycle:
         def crash(shard):
             os._exit(13)  # simulate a hard worker death, not an exception
 
-        with pytest.raises(Exception):  # BrokenProcessPool from the pool
+        with pytest.raises(BrokenProcessPool):
             backend.map_shards(crash, tables)
         assert transport.stats.segments_created > 0
         assert _our_segments() == []
@@ -299,6 +300,7 @@ class TestLifecycle:
         payload = transport.encode_shard([_mixed_table()])
         assert payload[0] == "shm"
         uid = payload[1]
+        # repro-lint: disable=RL003 deliberately orphaned to simulate a dead worker; release() below must reclaim it
         orphan = shared_memory.SharedMemory(
             create=True, name=f"{RESULT_SEGMENT_PREFIX}{uid}", size=16
         )
