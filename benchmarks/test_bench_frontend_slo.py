@@ -497,7 +497,6 @@ async def _degrade_probe(sigmatyper, bodies, seconds_per_table: float):
         FrontendConfig(max_pending_total=4096, max_pending_per_tenant=4096),
     )
     baseline = sigmatyper.confidence_threshold
-    min_reached = baseline
     host, port = None, None
     try:
         await frontend.start()
@@ -512,7 +511,6 @@ async def _degrade_probe(sigmatyper, bodies, seconds_per_table: float):
             return loop.time() - started
 
         latencies = await asyncio.gather(*[one(index) for index in range(burst_size)])
-        min_reached = min(entry["to"] for entry in service.slo.journal) if service.slo.journal else baseline
 
         # Trickle until the controller walks c back up to the baseline.
         trickled = 0
@@ -527,6 +525,11 @@ async def _degrade_probe(sigmatyper, bodies, seconds_per_table: float):
             await asyncio.sleep(0.005)
 
         snapshot = service.slo.snapshot()
+        # Degrades can keep landing during the trickle phase, so the minimum
+        # must come from the final journal, not a sample taken after the burst.
+        min_reached = min(
+            (entry["to"] for entry in snapshot["transitions"]), default=baseline
+        )
         return {
             "burst_size": burst_size,
             "latency_budget_seconds": round(budget, 4),

@@ -72,6 +72,19 @@ def _comparable(predictions):
     return [(p.table_name, p.step_trace, p.columns) for p in predictions]
 
 
+def _artifact_stats(stats):
+    """Store stats with the machine-local scratch path relativized.
+
+    The committed artifact must not churn on the pytest tmp root, so only the
+    directory's basename survives into ``BENCH_store_persistence.json``.
+    """
+    report = dict(stats)
+    directory = report.get("directory")
+    if directory:
+        report["directory"] = Path(str(directory)).name
+    return report
+
+
 def test_store_persistence(
     benchmark, sigmatyper, persistence_corpus, record_result, tmp_path_factory
 ):
@@ -175,7 +188,7 @@ def test_store_persistence(
             "sibling_flushed_entries": sibling_flushed,
             "shared_hits": shared_hits,
             "shared_hit_rate": round(shared_hit_rate, 4),
-            "store": parent_store.stats(),
+            "store": _artifact_stats(parent_store.stats()),
         }
         parent_store.close()
 
@@ -202,7 +215,7 @@ def test_store_persistence(
                 "restart_disk_hits": restart_disk_hits,
                 "multiwriter": multiwriter,
                 "phases": rows,
-                "store": final_stats,
+                "store": _artifact_stats(final_stats),
             },
             indent=2,
         )
