@@ -1,0 +1,217 @@
+"""E17: store-aware worker pool — warm routing vs blind round-robin, plus a kill.
+
+PR 10 puts N annotation processes behind one admission layer: the
+:class:`~repro.serving.pool.AnnotationPool` dispatcher routes each table to
+the worker whose :class:`~repro.serving.profile_store.PersistentProfileStore`
+LRU already holds the table's column profiles (warmth learned from the PR 4
+sidecar index journals plus a dispatch overlay).  This experiment pins the
+three properties that make the pool deployable:
+
+* **affinity** — on a repeat-heavy tenant mix (the paper's serving shape:
+  the same customer tables re-annotated many times) ≥90% of requests land
+  on a warm worker;
+* **parity** — pool predictions are bit-identical to the serial path, for
+  warm routing, for the blind round-robin baseline, and across a worker
+  death;
+* **supervision** — a SIGKILLed worker's in-flight requests are re-dispatched
+  to its replacement with zero lost requests.
+
+Wall-clock (warm vs round-robin columns/s) is reported always and *gated*
+only when ≥4 usable CPUs are present: on the 1-CPU build container the two
+configurations are scheduling noise (canonical caveat in docs/SERVING.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.corpus import GitTablesConfig, GitTablesGenerator
+from repro.evaluation import format_table
+from repro.serving import AnnotationPool, PoolSpec, available_workers
+from repro.serving.pool import _rendezvous_slot
+
+#: Machine-readable E17 results, committed at the repo root alongside the
+#: other benchmark artifacts.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_pool_routing.json"
+
+#: Repeat-heavy mix: a small set of customer tables annotated over and over —
+#: round r of table t re-requests the exact bytes of round r-1, so warmth is
+#: real (the LRU namespace is hot) rather than incidental.
+POOL_TABLES = 8
+ROUNDS = 12
+POOL_WORKERS = 2
+
+
+def _fresh(tables):
+    """Cold per-column caches, as every incoming request would carry."""
+    return [table.copy() for table in tables]
+
+
+def _comparable(predictions):
+    """Prediction content without wall-clock timings (bit-exact floats)."""
+    return [(p.table_name, p.step_trace, p.columns) for p in predictions]
+
+
+def test_pool_routing(benchmark, sigmatyper, record_result):
+    tables = GitTablesGenerator(
+        GitTablesConfig(num_tables=POOL_TABLES, seed=424242)
+    ).generate_corpus().tables
+    num_columns = sum(table.num_columns for table in tables)
+
+    # Warm the model-level caches once so every configuration faces the same
+    # model state; per-column caches stay cold per configuration.
+    sigmatyper.annotate_corpus(_fresh(tables))
+    reference = _comparable([sigmatyper.annotate(t) for t in _fresh(tables)])
+
+    # Each round visits the tables rotated by one position, so the arrival
+    # order never lines up with the worker count: a blind round-robin cannot
+    # stay accidentally sticky, while warm routing is order-insensitive.
+    expected = []
+    for offset in range(ROUNDS):
+        shift = offset % len(tables)
+        expected.extend(reference[shift:] + reference[:shift])
+
+    async def run_leg(routing: str):
+        spec = PoolSpec(workers=POOL_WORKERS, routing=routing)
+        async with AnnotationPool(sigmatyper, spec) as pool:
+            started = time.perf_counter()
+            results = []
+            for offset in range(ROUNDS):
+                shift = offset % len(tables)
+                for table in tables[shift:] + tables[:shift]:
+                    results.append(await pool.annotate(table.copy()))
+            elapsed = time.perf_counter() - started
+            stats = pool.stats
+        assert _comparable(results) == expected, (
+            f"pool routing={routing} diverged from the serial path"
+        )
+        return elapsed, stats
+
+    rows = []
+
+    def add_row(label, elapsed, stats):
+        rows.append(
+            {
+                "configuration": label,
+                "seconds_total": round(elapsed, 3),
+                "columns_per_second": round(num_columns * ROUNDS / elapsed, 1),
+                "affinity_hit_rate": stats.affinity_hit_rate,
+                "escapes": stats.escapes,
+                "redispatches": stats.redispatches,
+                "worker_deaths": stats.worker_deaths,
+            }
+        )
+
+    # ---- leg 1: warm routing (the PR 10 dispatcher) -------------------------
+    warm_elapsed, warm_stats = asyncio.run(run_leg("warm"))
+    add_row(f"pool:{POOL_WORKERS} (warm routing)", warm_elapsed, warm_stats)
+    assert warm_stats.affinity_hit_rate >= 0.9, warm_stats.to_dict()
+    assert warm_stats.errors_total == 0
+
+    # ---- leg 2: blind round-robin baseline ----------------------------------
+    rr_elapsed, rr_stats = asyncio.run(run_leg("round-robin"))
+    add_row(f"pool:{POOL_WORKERS} (round-robin)", rr_elapsed, rr_stats)
+    assert rr_stats.errors_total == 0
+
+    speedup = rr_elapsed / warm_elapsed
+    usable_cpus = available_workers()
+    speedup_gate_armed = usable_cpus >= 4
+    if speedup_gate_armed:
+        assert speedup >= 1.0, (
+            f"warm routing slower than round-robin on {usable_cpus} CPUs "
+            f"(speedup {speedup:.2f})"
+        )
+
+    # ---- leg 3: the supervision drill (SIGKILL mid-flight) ------------------
+    async def kill_drill():
+        spec = PoolSpec(workers=POOL_WORKERS, heartbeat_interval=0.05)
+        async with AnnotationPool(sigmatyper, spec) as pool:
+            batch = _fresh(tables) + _fresh(tables)
+            futures = [asyncio.ensure_future(pool.annotate(t)) for t in batch]
+            await asyncio.sleep(0.01)  # requests are now dispatched
+            victim = pool._workers[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            started = time.perf_counter()
+            results = await asyncio.gather(*futures)
+            elapsed = time.perf_counter() - started
+            return results, elapsed, pool.stats
+
+    drill_results, drill_elapsed, drill_stats = asyncio.run(kill_drill())
+    assert _comparable(drill_results) == reference * 2, (
+        "predictions diverged across the worker death"
+    )
+    lost_requests = (2 * len(tables)) - drill_stats.completed_total
+    assert lost_requests == 0, drill_stats.to_dict()
+    assert drill_stats.worker_deaths >= 1
+    assert drill_stats.restarts >= 1
+    assert drill_stats.redispatches >= 1
+    rows.append(
+        {
+            "configuration": f"pool:{POOL_WORKERS} (SIGKILL drill)",
+            "seconds_total": round(drill_elapsed, 3),
+            "columns_per_second": round(num_columns * 2 / drill_elapsed, 1),
+            "affinity_hit_rate": drill_stats.affinity_hit_rate,
+            "escapes": drill_stats.escapes,
+            "redispatches": drill_stats.redispatches,
+            "worker_deaths": drill_stats.worker_deaths,
+        }
+    )
+
+    record_result(
+        "E17_pool_routing",
+        format_table(
+            rows,
+            title=(
+                f"E17 — pool routing over {len(tables)} tables / {num_columns} "
+                f"columns × {ROUNDS} rounds, {POOL_WORKERS} workers, "
+                f"{usable_cpus} usable CPUs (affinity "
+                f"{warm_stats.affinity_hit_rate:.3f}, kill drill: "
+                f"{drill_stats.redispatches} re-dispatched, 0 lost, parity held)"
+            ),
+        ),
+    )
+    BENCH_JSON_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "E17_pool_routing",
+                "usable_cpus": usable_cpus,
+                "num_tables": len(tables),
+                "num_columns": num_columns,
+                "rounds": ROUNDS,
+                "workers": POOL_WORKERS,
+                "configurations": rows,
+                "affinity_hit_rate": warm_stats.affinity_hit_rate,
+                "warm_vs_round_robin_speedup": round(speedup, 3),
+                "speedup_gate_armed": speedup_gate_armed,
+                "parity": "bit-identical to serial on every leg",
+                "kill_drill": {
+                    "worker_deaths": drill_stats.worker_deaths,
+                    "restarts": drill_stats.restarts,
+                    "redispatches": drill_stats.redispatches,
+                    "lost_requests": lost_requests,
+                    "errors_total": drill_stats.errors_total,
+                },
+                "warm_stats": warm_stats.to_dict(),
+                "round_robin_stats": rr_stats.to_dict(),
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Representative operation for pytest-benchmark: the per-request routing
+    # decision — rendezvous hashing a table's column-hash prefixes over the
+    # worker slots (the pure-CPU cost the dispatcher adds to every request).
+    prefixes = [column.content_hash()[:8] for column in tables[0].columns]
+    slots = list(range(POOL_WORKERS))
+
+    def route_once():
+        return [_rendezvous_slot(prefix, slots) for prefix in prefixes]
+
+    benchmark(route_once)

@@ -33,6 +33,7 @@ EXPERIMENTS = {
     "E14_frontend_slo": ("PR 6", "HTTP front end under overload (shedding + SLO degrade)"),
     "E15_columnar_kernels": ("PR 7", "block-native vectorized profiling & featurization"),
     "E16_net_transport": ("PR 8", "column blocks over TCP to remote block workers, chaos-hardened"),
+    "E17_pool_routing": ("PR 10", "store-aware worker pool: warm routing vs blind round-robin, kill drill"),
 }
 
 
@@ -104,6 +105,14 @@ def _headline(experiment: str, data: dict) -> str:
             f"bit-identical with {chaos.get('local_fallbacks', '?')} counted local "
             f"fallbacks, {len(data.get('leaked_segments', []))} leaked segments, "
             f"{len(data.get('leaked_sockets', []))} leaked sockets"
+        )
+    if experiment == "E17_pool_routing":
+        drill = data.get("kill_drill", {})
+        return (
+            f"warm-routing affinity {data['affinity_hit_rate']:.0%} (gate 90%) vs "
+            f"blind round-robin, predictions bit-identical on every leg; SIGKILL "
+            f"drill re-dispatched {drill.get('redispatches', '?')} in-flight "
+            f"requests with {drill.get('lost_requests', '?')} lost"
         )
     # Future experiments: surface any scalar that looks like a pinned gate.
     gates = {

@@ -37,13 +37,16 @@ from repro.corpus.webtables import WebTablesConfig, WebTablesGenerator
 from repro.serving import (
     AdaptiveBatchingConfig,
     AnnotationFrontend,
+    AnnotationPool,
     AnnotationService,
     ExecutionBackend,
     FrontendConfig,
     MultiprocessBackend,
     PersistentProfileStore,
+    PoolSpec,
     ProfileStore,
     SerialBackend,
+    ServingSpec,
     SloConfig,
     SloController,
     ThreadedBackend,
@@ -78,6 +81,9 @@ __all__ = [
     "AnnotationService",
     "AdaptiveBatchingConfig",
     "AnnotationFrontend",
+    "AnnotationPool",
+    "PoolSpec",
+    "ServingSpec",
     "FrontendConfig",
     "SloConfig",
     "SloController",

@@ -11,6 +11,7 @@ from repro.analysis.checkers.rl003_resource_lifecycle import ResourceLifecycleCh
 from repro.analysis.checkers.rl004_parity import ParityHygieneChecker
 from repro.analysis.checkers.rl005_stats_lock import StatsLockChecker
 from repro.analysis.checkers.rl006_env_knobs import EnvKnobChecker
+from repro.analysis.checkers.rl007_export_audit import ExportAuditChecker
 
 ALL_CHECKERS = (
     AsyncBlockingChecker,
@@ -19,6 +20,7 @@ ALL_CHECKERS = (
     ParityHygieneChecker,
     StatsLockChecker,
     EnvKnobChecker,
+    ExportAuditChecker,
 )
 
 __all__ = ["ALL_CHECKERS"]

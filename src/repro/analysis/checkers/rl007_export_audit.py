@@ -1,0 +1,104 @@
+"""RL007: every public serving class is reachable from the package root.
+
+The PR 10 export-audit rule: the serving layer is consumed as one package
+(``from repro.serving import AnnotationPool``), so a class a submodule
+declares public (listed in its ``__all__``) that the package root's
+``__all__`` does not re-export is an API hole — reachable only through the
+submodule path, invisible to ``import *`` consumers and to the docs' root
+namespace.  Wire-protocol constants and frame helpers stay submodule-level
+on purpose; the audit binds *classes*, the unit the serving API is built
+from.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Checker
+
+_PACKAGE_DIR = "src/repro/serving"
+_PACKAGE_INIT = f"{_PACKAGE_DIR}/__init__.py"
+
+
+def _declared_all(tree: ast.Module) -> tuple[list[str], ast.AST | None]:
+    """The module's literal ``__all__`` names and the assignment node."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                names = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str)
+                ]
+                return names, node
+    return [], None
+
+
+class ExportAuditChecker(Checker):
+    id = "RL007"
+    name = "serving-export-audit"
+    scopes = ("src",)
+    fix_hint = (
+        "import the class in src/repro/serving/__init__.py and add it to the "
+        "package __all__ (or drop it from the submodule __all__ if it is not "
+        "public API)"
+    )
+    explain = """\
+RL007 serving-export-audit (src/ only, whole-project)
+
+Every class a src/repro/serving/*.py submodule lists in its __all__ must
+also appear in the package root __all__ (src/repro/serving/__init__.py), so
+`from repro.serving import X` works for every public serving class.
+
+Why: the serving API is documented and consumed at the package root; a
+class that is public in its submodule but missing from the root is an
+export hole that only shows up as a user's ImportError.  Constants and
+functions (frame helpers, wire message ids) are deliberately out of scope —
+they are protocol surface, not API classes.
+
+The finding anchors at the submodule's __all__ assignment; fix it in the
+package __init__ (import + __all__ entry).
+"""
+
+    def __init__(self) -> None:
+        #: submodule → (public class names, __all__ node, module context).
+        self._submodules: dict[str, tuple[list[str], ast.AST, object]] = {}
+        self._root_names: set[str] | None = None
+
+    def check_module(self, module):
+        if not module.rel_path.startswith(_PACKAGE_DIR + "/"):
+            return
+        names, node = _declared_all(module.tree)
+        if module.rel_path == _PACKAGE_INIT:
+            self._root_names = set(names)
+            return
+        if node is None:
+            return
+        top_level_classes = {
+            statement.name
+            for statement in module.tree.body
+            if isinstance(statement, ast.ClassDef)
+        }
+        public_classes = [name for name in names if name in top_level_classes]
+        if public_classes:
+            self._submodules[module.rel_path] = (public_classes, node, module)
+        return
+        yield  # pragma: no cover - makes this a generator like its siblings
+
+    def finish(self, project):
+        if self._root_names is None:
+            # The serving package was not part of this run's file set (e.g. a
+            # lint fixture tree); nothing to reconcile against.
+            return
+        for classes, node, module in self._submodules.values():
+            missing = [name for name in classes if name not in self._root_names]
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    f"public serving class(es) {', '.join(missing)} not re-exported "
+                    f"by {_PACKAGE_INIT} __all__",
+                )

@@ -522,7 +522,11 @@ class SigmaTyper:
         lookup — :func:`repro.core.timings.stage_timings`), so E10/E15 can
         attribute speedups instead of reporting one opaque col/s number.
         """
-        from repro.core.table import get_active_profile_store
+        # The shared sections (profile_store / shard_transport /
+        # columnar_kernels / timings) come from the serving layer's unified
+        # stats vocabulary, so this report and every serving summary() spell
+        # the same counters identically (docs/SERVING.md#stats-vocabulary).
+        from repro.serving.stats import render_stats
 
         report: dict[str, object] = {
             "pipeline_steps": self.global_model.pipeline.step_names,
@@ -534,16 +538,5 @@ class SigmaTyper:
                 for customer_id, context in self._customers.items()
             },
         }
-        store = get_active_profile_store()
-        if store is not None and hasattr(store, "stats"):
-            report["profile_store"] = store.stats()
-        from repro.serving.transport import transport_stats
-
-        shard_transport = transport_stats()
-        if shard_transport:
-            report["shard_transport"] = shard_transport
-        from repro.core.timings import stage_timings
-
-        report["columnar_kernels"] = colblock.kernel_stats()
-        report["timings"] = stage_timings()
+        report.update(render_stats(typer=self))
         return report

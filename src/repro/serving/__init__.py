@@ -41,7 +41,20 @@ serve production traffic:
   SLO-aware network edge: a dependency-free asyncio HTTP server with
   per-tenant token-bucket admission control, bounded pending queues, load
   shedding with explicit retry-after, deadline propagation, and graceful
-  SIGTERM drain.
+  SIGTERM drain;
+* :mod:`repro.serving.pool` — :class:`AnnotationPool`, the multi-process
+  deployment shape: N forked worker services over one shared segment
+  directory behind a warm-routing dispatcher (:class:`WarmthIndex` content
+  affinity with a load-balance escape hatch), with worker pre-warm,
+  heartbeat supervision, and in-place restart + re-dispatch on a worker
+  death — drivable by the front end via ``pool=``;
+* :mod:`repro.serving.spec` — the typed configuration layer
+  (:class:`ServingSpec` and its :class:`BackendSpec` / :class:`TransportSpec`
+  / :class:`StoreSpec` / :class:`PoolSpec` / :class:`FrontendSpec` parts),
+  round-tripping every documented spec string;
+* :mod:`repro.serving.stats` — the unified stats vocabulary:
+  :func:`render_stats` composes every ``summary()`` in the layer from the
+  same canonical sections (deprecated aliases in :data:`DEPRECATED_KEYS`).
 
 The parity contract below has one explicit, opt-in exception: an attached
 :class:`SloController` *degrades* predictions (shallower cascade) while an
@@ -52,6 +65,13 @@ batching mode returns predictions bit-identical to the plain serial path
 (see ``docs/ARCHITECTURE.md``).
 """
 
+from repro.core.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServingError,
+    ShutdownError,
+)
 from repro.serving.backends import (
     ExecutionBackend,
     MultiprocessBackend,
@@ -67,11 +87,24 @@ from repro.serving.frontend import (
     FrontendStats,
     TokenBucket,
 )
+from repro.serving.pool import AnnotationPool, PoolStats, WarmthIndex
 from repro.serving.profile_store import (
+    JournalEntry,
     PersistentProfileStore,
     ProfileStore,
     install_fork_handlers,
+    journal_pid,
+    read_index_journal,
 )
+from repro.serving.spec import (
+    BackendSpec,
+    FrontendSpec,
+    PoolSpec,
+    ServingSpec,
+    StoreSpec,
+    TransportSpec,
+)
+from repro.serving.stats import DEPRECATED_KEYS, render_stats, resolve_key, shared_sections
 from repro.serving.net import (
     BlockWorkerServer,
     FrameError,
@@ -84,11 +117,14 @@ from repro.serving.net import (
 from repro.serving.service import AdaptiveBatchingConfig, AnnotationService, ServiceStats
 from repro.serving.slo import SloConfig, SloController
 from repro.serving.transport import (
+    ColumnBlock,
     ColumnBlockCodec,
     PickleTransport,
     PredictionBlockCodec,
     ShmTransport,
     Transport,
+    TransportStats,
+    UnsupportedPayloadError,
     resolve_transport,
     reset_transport_stats,
     transport_stats,
@@ -129,4 +165,28 @@ __all__ = [
     "FrontendConfig",
     "FrontendStats",
     "TokenBucket",
+    "TransportStats",
+    "ColumnBlock",
+    "UnsupportedPayloadError",
+    "AnnotationPool",
+    "PoolStats",
+    "WarmthIndex",
+    "JournalEntry",
+    "journal_pid",
+    "read_index_journal",
+    "ServingSpec",
+    "BackendSpec",
+    "TransportSpec",
+    "StoreSpec",
+    "PoolSpec",
+    "FrontendSpec",
+    "DEPRECATED_KEYS",
+    "render_stats",
+    "shared_sections",
+    "resolve_key",
+    "ServingError",
+    "ConfigurationError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "ShutdownError",
 ]

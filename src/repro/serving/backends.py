@@ -317,13 +317,22 @@ def resolve_backend(
     ``"threaded:4"`` and, for the multiprocess backend, a shard transport as
     in ``"multiprocess:4+shm"`` (``+pickle`` | ``+shm`` | ``+tcp`` |
     ``+tcp://host:port[,host2:port2]``, see :mod:`repro.serving.transport`
-    and :mod:`repro.serving.net`) — or ``None``, which resolves to *default*
-    (falling back to a fresh :class:`SerialBackend`).
+    and :mod:`repro.serving.net`) — a typed
+    :class:`~repro.serving.spec.BackendSpec` / :class:`~repro.serving.spec.
+    ServingSpec` (resolved through its canonical string, so the two forms
+    can never drift) — or ``None``, which resolves to *default* (falling
+    back to a fresh :class:`SerialBackend`).
     """
     if backend is None:
         return default if default is not None else SerialBackend()
     if isinstance(backend, ExecutionBackend):
         return backend
+    from repro.serving.spec import BackendSpec, ServingSpec  # local: spec is leaf-level
+
+    if isinstance(backend, ServingSpec):
+        backend = backend.backend
+    if isinstance(backend, BackendSpec):
+        backend = str(backend)
     if isinstance(backend, str):
         base_spec, _, transport_name = backend.partition("+")
         name, _, workers = base_spec.partition(":")

@@ -42,6 +42,7 @@ import json
 import signal as signal_module
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import (
     ConfigurationError,
@@ -53,6 +54,10 @@ from repro.core.errors import (
 from repro.core.prediction import TablePrediction
 from repro.core.table import Table
 from repro.serving.service import AnnotationService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.pool import AnnotationPool
+    from repro.serving.spec import FrontendSpec
 
 __all__ = ["AnnotationFrontend", "FrontendConfig", "FrontendStats", "TokenBucket"]
 
@@ -194,13 +199,20 @@ class FrontendStats:
 
 
 class AnnotationFrontend:
-    """Asyncio HTTP front end over an :class:`AnnotationService`.
+    """Asyncio HTTP front end over an :class:`AnnotationService` (or pool).
 
     The frontend owns the network edge and the admission state; the wrapped
     service owns batching and execution.  If the service is not yet running,
     :meth:`start` starts it.  :meth:`shutdown` always propagates its bounded
     drain to the service — a drained edge over a still-queueing service
     would recreate exactly the unbounded queue this class exists to remove.
+
+    ``pool=`` swaps the single in-process service for an
+    :class:`~repro.serving.pool.AnnotationPool` — the same token-bucket,
+    queue-bound, deadline, and drain edge then feeds N worker processes
+    with warm routing, and the pool's stats section rides into ``/stats``
+    and :meth:`summary`.  *config* also accepts the frozen
+    :class:`~repro.serving.spec.FrontendSpec` form.
 
     Endpoints: ``POST /annotate`` (JSON ``{"table": <Table.to_dict()>,
     "customer_id": ..., "deadline_ms": ...}`` → ``TablePrediction.to_dict()``),
@@ -209,10 +221,21 @@ class AnnotationFrontend:
 
     def __init__(
         self,
-        service: AnnotationService,
-        config: FrontendConfig | None = None,
+        service: "AnnotationService | None" = None,
+        config: "FrontendConfig | FrontendSpec | None" = None,
+        *,
+        pool: "AnnotationPool | None" = None,
     ) -> None:
-        self._service = service
+        if (service is None) == (pool is None):
+            raise ConfigurationError(
+                "AnnotationFrontend drives exactly one of service= or pool="
+            )
+        # The pool duck-types the service surface the edge relies on
+        # (is_running/start/annotate/shutdown/stats/summary), so the whole
+        # admission, deadline, and drain machinery below drives either.
+        self._service = service if service is not None else pool
+        if config is not None and not isinstance(config, FrontendConfig):
+            config = config.to_config()  # a FrontendSpec
         self.config = (config or FrontendConfig()).validate()
         self.stats = FrontendStats()
         self._server: asyncio.base_events.Server | None = None
@@ -231,7 +254,8 @@ class AnnotationFrontend:
 
     # ---------------------------------------------------------------- lifecycle
     @property
-    def service(self) -> AnnotationService:
+    def service(self) -> "AnnotationService | AnnotationPool":
+        """The wrapped component (the pool, in ``pool=`` mode)."""
         return self._service
 
     @property
@@ -576,7 +600,13 @@ class AnnotationFrontend:
 
     # ------------------------------------------------------------------- report
     def summary(self) -> dict[str, object]:
-        """Edge + service report: admission counters, drain state, SLO, stats."""
+        """Edge + service report: admission counters, drain state, SLO, stats.
+
+        ``frontend`` is the edge's canonical :func:`~repro.serving.stats.
+        render_stats` section; ``service`` nests the wrapped component's own
+        ``summary()`` (a pool's, in ``pool=`` mode — its dispatcher section
+        then also appears under ``pool``).
+        """
         report: dict[str, object] = {
             "running": self.is_running,
             "draining": self._draining,
@@ -586,4 +616,7 @@ class AnnotationFrontend:
             "frontend": self.stats.to_dict(),
             "service": self._service.summary(),
         }
+        pool_section = report["service"].get("pool") if isinstance(report["service"], dict) else None
+        if pool_section is not None:
+            report["pool"] = pool_section
         return report

@@ -87,6 +87,11 @@ __all__ = [
     "MSG_RESULT",
     "MSG_RESULT_PICKLE",
     "MSG_ERROR",
+    "MSG_POOL_REQUEST",
+    "MSG_POOL_RESULT",
+    "MSG_POOL_ERROR",
+    "MSG_POOL_PING",
+    "MSG_POOL_PONG",
     "FRAME_MAGIC",
     "FRAME_HEADER",
     "read_frame",
@@ -118,8 +123,29 @@ MSG_SHARD = 1
 MSG_RESULT = 2
 MSG_RESULT_PICKLE = 3
 MSG_ERROR = 4
+#: Pool dispatcher <-> worker messages (see :mod:`repro.serving.pool`): a
+#: dispatched request, its result/error, and the heartbeat ping/pong pair.
+#: They share the SGN1 framing so :func:`read_frame`'s magic/crc/size guards
+#: cover the pool protocol too.
+MSG_POOL_REQUEST = 5
+MSG_POOL_RESULT = 6
+MSG_POOL_ERROR = 7
+MSG_POOL_PING = 8
+MSG_POOL_PONG = 9
 
-_KNOWN_MESSAGES = frozenset({MSG_SHARD, MSG_RESULT, MSG_RESULT_PICKLE, MSG_ERROR})
+_KNOWN_MESSAGES = frozenset(
+    {
+        MSG_SHARD,
+        MSG_RESULT,
+        MSG_RESULT_PICKLE,
+        MSG_ERROR,
+        MSG_POOL_REQUEST,
+        MSG_POOL_RESULT,
+        MSG_POOL_ERROR,
+        MSG_POOL_PING,
+        MSG_POOL_PONG,
+    }
+)
 
 
 @dataclass

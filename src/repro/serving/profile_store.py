@@ -73,12 +73,19 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from itertools import count
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.table import get_active_profile_store, set_active_profile_store
 
-__all__ = ["ProfileStore", "PersistentProfileStore", "install_fork_handlers"]
+__all__ = [
+    "ProfileStore",
+    "PersistentProfileStore",
+    "install_fork_handlers",
+    "JournalEntry",
+    "journal_pid",
+    "read_index_journal",
+]
 
 
 # ------------------------------------------------------------------ fork safety
@@ -386,6 +393,77 @@ _MAX_SEGMENT_NAME = 255
 _STORE_UIDS = count()
 
 
+# -------------------------------------------------------------- warmth export
+class JournalEntry(NamedTuple):
+    """One parsed sidecar-journal record (see :func:`read_index_journal`)."""
+
+    #: Column content hash (hex) the record names.
+    key: str
+    #: Segment file name the payload lives in; ``None`` for tombstones.
+    segment_name: str | None
+    tombstone: bool
+
+
+def journal_pid(path: Path | str) -> int | None:
+    """The writer pid encoded in a journal file name (``index-<pid>-<uid>.idx``)."""
+    try:
+        return int(Path(path).name.split("-")[1])
+    except (IndexError, ValueError):
+        return None
+
+
+def read_index_journal(path: Path | str, offset: int = 0) -> tuple[list, int]:
+    """Parse the records appended to a sidecar journal since *offset*.
+
+    The public face of the PR 4 journal format, for consumers that track
+    warmth without being a store themselves — the pool's
+    :class:`~repro.serving.pool.WarmthIndex` tails every journal in a shared
+    segment directory through this.  Returns ``(entries, new_offset)``:
+    every intact :class:`JournalEntry` from *offset* on, and the offset to
+    resume from next time.  A torn tail (a record still being appended)
+    simply ends the batch — re-read later from ``new_offset``.  Lost framing
+    (bad magic, corrupt header, crc mismatch) raises ``ValueError``: an
+    append-only stream cannot be resynced, so the caller should retire the
+    journal (its segments stay recoverable by any restart).
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        data = handle.read()
+    pos = 0
+    if offset == 0:
+        if len(data) < len(_INDEX_MAGIC):
+            return [], 0  # torn magic: retry once more bytes land
+        if not data.startswith(_INDEX_MAGIC):
+            raise ValueError(f"bad journal magic in {path.name}")
+        pos = len(_INDEX_MAGIC)
+    entries: list = []
+    header_size = _INDEX_HEADER.size
+    while pos + header_size <= len(data):
+        flag, key_bytes, _payload_offset, _length, _payload_crc, name_len, name_crc = (
+            _INDEX_HEADER.unpack_from(data, pos)
+        )
+        if flag not in (_RECORD_DATA, _RECORD_TOMBSTONE) or name_len > _MAX_SEGMENT_NAME:
+            raise ValueError(f"journal framing lost in {path.name}")
+        end = pos + header_size + name_len
+        if end > len(data):
+            break  # torn tail: the record may still be completing
+        name_bytes = data[pos + header_size : end]
+        if zlib.crc32(name_bytes) != name_crc:
+            raise ValueError(f"journal name crc mismatch in {path.name}")
+        key = key_bytes.hex()
+        if flag == _RECORD_DATA:
+            try:
+                segment_name = name_bytes.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise ValueError(f"journal segment name undecodable in {path.name}") from exc
+            entries.append(JournalEntry(key, segment_name, False))
+        else:
+            entries.append(JournalEntry(key, None, True))
+        pos = end
+    return entries, offset + pos
+
+
 class PersistentProfileStore(ProfileStore):
     """A :class:`ProfileStore` with an append-only on-disk tier.
 
@@ -489,6 +567,7 @@ class PersistentProfileStore(ProfileStore):
         self.flushes = 0
         self.flushed_entries = 0
         self.recovered_entries = 0
+        self.prewarmed_entries = 0
         self.corrupt_records_skipped = 0
         self.tombstones = 0
         self.compactions = 0
@@ -1261,6 +1340,43 @@ class PersistentProfileStore(ProfileStore):
                 or content_hash in self._shared_index
             )
 
+    # ---------------------------------------------------------------- pre-warm
+    @_holding_store_lock
+    def prewarm(self, limit: int | None = None) -> int:
+        """Load persisted namespaces into the in-memory LRU ahead of demand.
+
+        Pool workers call this at startup so a restarted process serves its
+        first requests warm instead of paying a ``disk_hit`` per column.  At
+        most *limit* entries are loaded (default: up to ``max_columns``);
+        keys already in memory are skipped and damaged records degrade to a
+        skip, never a crash.  Returns the number of entries loaded (also
+        accumulated in ``prewarmed_entries``).
+        """
+        if self._closed:
+            return 0
+        budget = self.max_columns - len(self._namespaces)
+        if limit is not None:
+            budget = min(budget, limit)
+        loaded = 0
+        for key, (path, payload_offset, length) in list(self._index.items()):
+            if loaded >= budget:
+                break
+            if key in self._namespaces:
+                continue
+            namespace = self._read_and_unpickle(path, payload_offset, length)
+            if namespace is None:
+                continue
+            self._namespaces[key] = namespace
+            self._persisted_sizes[key] = len(namespace)
+            loaded += 1
+        self.prewarmed_entries += loaded
+        return loaded
+
+    @_holding_store_lock
+    def warm_keys(self) -> set[str]:
+        """Every content hash any tier of this store could serve warm."""
+        return set(self._namespaces) | set(self._index) | set(self._shared_index)
+
     # ------------------------------------------------------------------- report
     @property
     def disk_entries(self) -> int:
@@ -1304,6 +1420,7 @@ class PersistentProfileStore(ProfileStore):
                     "flushes": self.flushes,
                     "flushed_entries": self.flushed_entries,
                     "recovered_entries": self.recovered_entries,
+                    "prewarmed_entries": self.prewarmed_entries,
                     "corrupt_records_skipped": self.corrupt_records_skipped,
                     "tombstones": self.tombstones,
                     "compactions": self.compactions,

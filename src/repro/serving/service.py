@@ -361,7 +361,8 @@ class AnnotationService:
         batch only what is already queued.
     backend:
         Optional :class:`~repro.serving.backends.ExecutionBackend` (or spec
-        string) used for the ``annotate_corpus`` call of each batch.  Leave
+        string / typed :class:`~repro.serving.spec.BackendSpec`) used for
+        the ``annotate_corpus`` call of each batch.  Leave
         unset (serial) for typical online micro-batches — the multiprocess
         backend forks a pool per call, which only pays off for large batches.
     adaptive:
@@ -707,26 +708,24 @@ class AnnotationService:
 
     # ------------------------------------------------------------------- report
     def summary(self) -> dict[str, object]:
-        """Service-level report (running state, batching knobs, stats).
+        """Service-level report in the unified :func:`~repro.serving.stats.
+        render_stats` shape (running state, batching knobs, stats).
 
         When a shared profile store is active its full counters — including
         the cross-process ``shared_hits`` of a persistent store with live
-        sharing — are included under ``profile_store``.
+        sharing — are included under ``profile_store``.  ``service`` is the
+        canonical section for this component's own counters; ``stats``
+        aliases it for one release (docs/SERVING.md#stats-vocabulary).
         """
+        from repro.serving.stats import render_stats
+
         report: dict[str, object] = {
             "running": self.is_running,
             "max_batch_size": self.max_batch_size,
             "max_batch_delay": self.max_batch_delay,
             "adaptive": self.adaptive is not None,
             "backend": getattr(self.backend, "name", self.backend) or "serial",
-            "stats": self.stats.to_dict(),
         }
-        if self.slo is not None:
-            report["slo"] = self.slo.snapshot()
-        store = get_active_profile_store()
-        if store is not None and hasattr(store, "stats"):
-            report["profile_store"] = store.stats()
-        shard_transport = transport_stats()
-        if shard_transport:
-            report["shard_transport"] = shard_transport
+        report.update(render_stats(service=self))
+        report["stats"] = report["service"]
         return report

@@ -1164,8 +1164,9 @@ def resolve_transport(transport: "Transport | str | None") -> Transport:
 
     Accepts an instance (returned unchanged), a name — ``"pickle"``,
     ``"shm"`` or ``"tcp"`` (peers from ``$REPRO_NET_PEERS``) — a peer spec
-    like ``"tcp://host:port[,host2:port2]"``, or ``None`` (the pickle
-    baseline).
+    like ``"tcp://host:port[,host2:port2]"``, a typed
+    :class:`~repro.serving.spec.TransportSpec` (resolved through its
+    canonical string), or ``None`` (the pickle baseline).
     """
     if transport is None:
         return PickleTransport()
@@ -1174,6 +1175,10 @@ def resolve_transport(transport: "Transport | str | None") -> Transport:
         # by uid, so its counters stay counted exactly once process-wide.
         _register_transport(transport)
         return transport
+    from repro.serving.spec import TransportSpec  # local: spec is leaf-level
+
+    if isinstance(transport, TransportSpec):
+        transport = str(transport)
     if isinstance(transport, str):
         if transport == "tcp" or transport.startswith("tcp://"):
             from repro.serving import net  # local import: net imports this module

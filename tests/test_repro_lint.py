@@ -21,6 +21,7 @@ from repro.analysis.checkers.rl003_resource_lifecycle import ResourceLifecycleCh
 from repro.analysis.checkers.rl004_parity import ParityHygieneChecker
 from repro.analysis.checkers.rl005_stats_lock import StatsLockChecker
 from repro.analysis.checkers.rl006_env_knobs import EnvKnobChecker
+from repro.analysis.checkers.rl007_export_audit import ExportAuditChecker
 from repro.analysis.cli import main as cli_main
 from repro.analysis.knobs import embedded_table_problems, render_knob_table
 
@@ -398,6 +399,53 @@ def test_rl006_reports_stale_registry_entries(tmp_path):
     assert any("REPRO_NET_PEERS" in f.message for f in result.findings)
 
 
+# ------------------------------------------------------------------- RL007
+_SERVING_SUBMODULE = """\
+__all__ = ["Widget", "WIRE_CONSTANT", "frame_helper"]
+
+WIRE_CONSTANT = 7
+
+
+class Widget:
+    pass
+
+
+def frame_helper():
+    return WIRE_CONSTANT
+"""
+
+
+def _lint_serving_tree(tmp_path, root_all):
+    """A minimal serving package: one submodule class, a configurable root."""
+    package = tmp_path / "src" / "repro" / "serving"
+    package.mkdir(parents=True)
+    package.joinpath("widget.py").write_text(_SERVING_SUBMODULE, encoding="utf-8")
+    package.joinpath("__init__.py").write_text(
+        f"__all__ = {root_all!r}\n", encoding="utf-8"
+    )
+    return run_lint(["src"], root=tmp_path, checkers=[ExportAuditChecker()])
+
+
+def test_rl007_flags_class_missing_from_package_root(tmp_path):
+    result = _lint_serving_tree(tmp_path, root_all=["SomethingElse"])
+    messages = _messages(result)
+    assert len(result.findings) == 1, messages
+    assert "Widget" in messages[0]
+    # Constants and functions are protocol surface, not audited API classes.
+    assert "WIRE_CONSTANT" not in messages[0] and "frame_helper" not in messages[0]
+    assert result.findings[0].path == "src/repro/serving/widget.py"
+
+
+def test_rl007_quiet_when_root_reexports_every_class(tmp_path):
+    result = _lint_serving_tree(tmp_path, root_all=["Widget"])
+    assert result.findings == [], _messages(result)
+
+
+def test_rl007_quiet_outside_the_serving_package(tmp_path):
+    result = _lint(tmp_path, _SERVING_SUBMODULE, ExportAuditChecker())
+    assert result.findings == [], _messages(result)
+
+
 # ------------------------------------------------- suppressions & baseline
 _VIOLATION = "import random\n\ndef roll():\n    return random.random()\n"
 
@@ -493,10 +541,10 @@ def test_cli_explain_and_knobs(capsys):
     assert embedded_table_problems(out) == []
 
 
-def test_cli_list_checkers_names_all_six(capsys):
+def test_cli_list_checkers_names_all_seven(capsys):
     assert cli_main(["--list-checkers"]) == 0
     out = capsys.readouterr().out
-    for check_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for check_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"):
         assert check_id in out
 
 
